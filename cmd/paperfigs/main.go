@@ -1,0 +1,106 @@
+// Command paperfigs regenerates the tables and figures of the paper's
+// evaluation section. Each experiment prints the same rows/series the
+// paper reports; absolute numbers differ (different substrate and
+// workloads) but the shape — who wins, by roughly what factor, where the
+// crossovers fall — is the reproduction target.
+//
+// Usage:
+//
+//	paperfigs                 # everything
+//	paperfigs -exp fig6a      # one experiment
+//	paperfigs -measure 300000 # longer runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table1|fig4|fig5a|fig5b|fig6a|fig6b|fig6c|fig7|ddt|storeonly|cwidth|ports|rob512|singlebit|disthist|trackers|storage|all")
+		warmup  = flag.Uint64("warmup", experiments.DefaultRunLengths.Warmup, "warmup instructions per run")
+		measure = flag.Uint64("measure", experiments.DefaultRunLengths.Measure, "measured instructions per run")
+	)
+	flag.Parse()
+
+	s := experiments.NewSession(experiments.RunLengths{Warmup: *warmup, Measure: *measure})
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	start := time.Now()
+
+	if want("table1") {
+		fmt.Println(experiments.Table1())
+	}
+	if want("storage") {
+		fmt.Println(experiments.StorageTable())
+	}
+	if want("fig4") {
+		fmt.Println(s.Fig4())
+	}
+	if want("fig5a") {
+		t, _ := s.Fig5a()
+		fmt.Println(t)
+	}
+	if want("fig5b") {
+		t, _ := s.Fig5b()
+		fmt.Println(t)
+	}
+	if want("fig6a") {
+		t, _ := s.Fig6a()
+		fmt.Println(t)
+	}
+	if want("fig6b") {
+		fmt.Println(s.Fig6b())
+	}
+	if want("fig6c") {
+		t, _ := s.Fig6c()
+		fmt.Println(t)
+	}
+	if want("fig7") {
+		t, _ := s.Fig7()
+		fmt.Println(t)
+	}
+	if want("ddt") {
+		t, _ := s.DDTSizing()
+		fmt.Println(t)
+	}
+	if want("storeonly") {
+		t, _ := s.StoreOnly()
+		fmt.Println(t)
+	}
+	if want("cwidth") {
+		t, _ := s.CounterWidth()
+		fmt.Println(t)
+	}
+	if want("ports") {
+		fmt.Println(s.ISRBTraffic())
+	}
+	if want("rob512") {
+		t, _ := s.ROB512Lazy()
+		fmt.Println(t)
+	}
+	if want("singlebit") {
+		t, _ := s.SingleBitME()
+		fmt.Println(t)
+	}
+	if want("disthist") {
+		t, _ := s.DistanceHistorySweep()
+		fmt.Println(t)
+	}
+	if want("trackers") {
+		t, _ := s.TrackerComparison()
+		fmt.Println(t)
+	}
+
+	known := "table1 storage fig4 fig5a fig5b fig6a fig6b fig6c fig7 ddt storeonly cwidth ports rob512 singlebit disthist trackers all"
+	if !strings.Contains(known, *exp) {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (known: %s)\n", *exp, known)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "total time: %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,126 @@
+// Command regsim runs one benchmark on one machine configuration and
+// prints the run's statistics.
+//
+// Usage:
+//
+//	regsim -bench crafty -me -smb -tracker isrb -entries 24 -measure 200000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/smb"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "crafty", "benchmark name (see -list)")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+		me        = flag.Bool("me", false, "enable Move Elimination")
+		smbOn     = flag.Bool("smb", false, "enable Speculative Memory Bypassing")
+		loadLoad  = flag.Bool("loadload", true, "SMB: allow load-load pairs")
+		committed = flag.Bool("committed", false, "SMB: bypass from committed instructions (lazy reclaim)")
+		pred      = flag.String("pred", "tage", "SMB distance predictor: tage|nosq")
+		ddt       = flag.Int("ddt", 0, "DDT entries (0 = unlimited)")
+		tracker   = flag.String("tracker", "unlimited", "tracker: isrb|unlimited|counters|mit|rda")
+		entries   = flag.Int("entries", 32, "tracker entries")
+		ctrBits   = flag.Int("ctrbits", 3, "ISRB counter bits")
+		warmup    = flag.Uint64("warmup", 50_000, "warmup instructions")
+		measure   = flag.Uint64("measure", 200_000, "measured instructions")
+		verbose   = flag.Bool("v", false, "print extended statistics")
+		trace     = flag.Uint64("trace", 0, "print a pipeline trace for the first N cycles of measurement")
+		jsonOut   = flag.Bool("json", false, "emit statistics as JSON")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range workloads.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	spec, err := workloads.ByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.ME.Enabled = *me
+	cfg.SMB.Enabled = *smbOn
+	cfg.SMB.LoadLoad = *loadLoad
+	cfg.SMB.BypassCommitted = *committed
+	if *pred == "nosq" {
+		cfg.SMB.Predictor = core.DistanceNoSQ
+	}
+	if *ddt > 0 {
+		cfg.SMB.DDT = smb.DDTConfig{Entries: *ddt, TagBits: 5}
+	}
+	cfg.Tracker = core.TrackerConfig{
+		Kind:        core.TrackerKind(*tracker),
+		Entries:     *entries,
+		CounterBits: *ctrBits,
+	}
+
+	prog := workloads.Build(spec)
+	c := core.New(cfg, prog)
+	if *trace > 0 {
+		// Warm up untraced, then trace the first N cycles.
+		c.Run(*warmup, 1)
+		c.AttachTracer(&core.TextTracer{W: os.Stderr})
+		for i := uint64(0); i < *trace; i++ {
+			c.Cycle()
+		}
+		c.AttachTracer(nil)
+		*warmup = 0
+	}
+	st := c.Run(*warmup, *measure)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(st); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("benchmark      %s (%d static µops)\n", spec.Name, prog.NumInsts())
+	fmt.Printf("tracker        %s\n", c.Tracker().Name())
+	fmt.Printf("cycles         %d\n", st.Cycles)
+	fmt.Printf("committed      %d\n", st.Committed)
+	fmt.Printf("IPC            %.3f\n", st.IPC())
+	fmt.Printf("branch misp.   %d (%.2f MPKI)\n", st.BranchMispredicts,
+		1000*float64(st.BranchMispredicts)/float64(st.Committed))
+	fmt.Printf("memory traps   %d\n", st.MemTraps)
+	fmt.Printf("false deps     %d\n", st.FalseDeps)
+	if *me {
+		fmt.Printf("eliminated     %d (%.1f%% of committed)\n", st.CommittedEliminated, 100*st.ElimRate())
+	}
+	if *smbOn {
+		fmt.Printf("bypassed loads %d (%.1f%% of loads)\n", st.CommittedBypassed, 100*st.BypassRate())
+		fmt.Printf("bypass misp.   %d\n", st.BypassMispredicts)
+		fmt.Printf("traps avoided  %d\n", st.TrapsAvoidedSMB)
+	}
+	if *verbose {
+		ts := c.Tracker().Stats()
+		fmt.Printf("-- tracker: sharesME=%d sharesSMB=%d failsFull=%d failsSat=%d frees=%d recoveryFrees=%d\n",
+			ts.SharesME, ts.SharesSMB, ts.ShareFailsFull, ts.ShareFailsSat, ts.Frees, ts.RecoveryFrees)
+		fmt.Printf("-- loads: stlf=%d partialWaits=%d toMemory=%d\n",
+			st.STLFForwards, st.PartialWaits, st.LoadsToMemory)
+		fmt.Printf("-- squashed=%d renamed=%d fetched=%d\n", st.SquashedUops, st.RenamedUops, st.FetchedUops)
+		fmt.Printf("-- share dist=%.1f reclaim checks=%d dist=%.1f b2b=%.1f%% skipped-by-flag=%d\n",
+			st.ShareDistance(), st.ReclaimChecks, st.ReclaimCheckDistance(),
+			100*st.ReclaimBackToBackRate(), st.ReclaimSkippedByFlag)
+		h := c.Mem()
+		fmt.Printf("-- L1D: acc=%d miss=%d | L2: acc=%d miss=%d | DRAM reads=%d\n",
+			h.L1D.Accesses, h.L1D.Misses, h.L2.Accesses, h.L2.Misses, h.Mem.Reads)
+	}
+}

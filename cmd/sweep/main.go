@@ -1,0 +1,139 @@
+// Command sweep runs two-dimensional parameter sweeps around the paper's
+// design points and prints speedup grids:
+//
+//   - isrb:   ISRB entries × counter width (ME+SMB, the §6.3 trade space)
+//   - rob:    ROB size × ISRB entries (SMB)
+//   - stlf:   store-to-load forwarding latency × SMB on/off (the §3
+//     motivation: SMB gains grow with the STLF latency)
+//
+// Usage:
+//
+//	sweep -kind isrb -bench hmmer
+//	sweep -kind stlf            # geometric mean over the whole suite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+var (
+	kind    = flag.String("kind", "isrb", "sweep kind: isrb|rob|stlf")
+	bench   = flag.String("bench", "", "single benchmark (default: gmean over the suite)")
+	warmup  = flag.Uint64("warmup", 20_000, "warmup µops")
+	measure = flag.Uint64("measure", 80_000, "measured µops")
+)
+
+// run simulates one (benchmark, config) pair.
+func run(name string, cfg core.Config) float64 {
+	spec, err := workloads.ByName(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	c := core.New(cfg, workloads.Build(spec))
+	return c.Run(*warmup, *measure).IPC()
+}
+
+// speedup returns the gmean speedup of cfg over base across the selected
+// benchmarks, running them in parallel.
+func speedup(baseFor, cfgFor func() core.Config) float64 {
+	names := workloads.Names()
+	if *bench != "" {
+		names = []string{*bench}
+	}
+	ratios := make([]float64, len(names))
+	sem := make(chan struct{}, runtime.NumCPU())
+	var wg sync.WaitGroup
+	for i, n := range names {
+		wg.Add(1)
+		go func(i int, n string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			ratios[i] = stats.Speedup(run(n, cfgFor()), run(n, baseFor()))
+		}(i, n)
+	}
+	wg.Wait()
+	return stats.GeoMean(ratios)
+}
+
+func combined(entries, bits int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.ME.Enabled = true
+	cfg.SMB.Enabled = true
+	cfg.Tracker = core.TrackerConfig{Kind: core.TrackerISRB, Entries: entries, CounterBits: bits}
+	return cfg
+}
+
+func main() {
+	flag.Parse()
+	switch *kind {
+	case "isrb":
+		t := stats.NewTable("ME+SMB speedup: ISRB entries × counter bits",
+			"entries", "1-bit", "2-bit", "3-bit", "4-bit")
+		for _, n := range []int{8, 16, 24, 32, 48} {
+			row := []string{fmt.Sprint(n)}
+			for _, w := range []int{1, 2, 3, 4} {
+				s := speedup(core.DefaultConfig, func() core.Config { return combined(n, w) })
+				row = append(row, stats.Pct(s))
+			}
+			t.AddRow(row...)
+		}
+		fmt.Println(t)
+	case "rob":
+		t := stats.NewTable("SMB speedup: ROB size × ISRB entries",
+			"ROB", "ISRB-8", "ISRB-24", "unlimited")
+		for _, rob := range []int{96, 192, 384} {
+			rob := rob
+			row := []string{fmt.Sprint(rob)}
+			for _, n := range []int{8, 24, 0} {
+				n := n
+				base := func() core.Config {
+					cfg := core.DefaultConfig()
+					cfg.ROBSize = rob
+					return cfg
+				}
+				opt := func() core.Config {
+					cfg := base()
+					cfg.SMB.Enabled = true
+					if n > 0 {
+						cfg.Tracker = core.TrackerConfig{Kind: core.TrackerISRB, Entries: n, CounterBits: 3}
+					}
+					return cfg
+				}
+				row = append(row, stats.Pct(speedup(base, opt)))
+			}
+			t.AddRow(row...)
+		}
+		fmt.Println(t)
+	case "stlf":
+		t := stats.NewTable("SMB speedup vs store-to-load forwarding latency (§3's motivation)",
+			"STLF cycles", "SMB speedup")
+		for _, lat := range []uint64{1, 2, 4, 8} {
+			lat := lat
+			base := func() core.Config {
+				cfg := core.DefaultConfig()
+				cfg.STLFLatency = lat
+				return cfg
+			}
+			opt := func() core.Config {
+				cfg := base()
+				cfg.SMB.Enabled = true
+				return cfg
+			}
+			t.AddRow(fmt.Sprint(lat), stats.Pct(speedup(base, opt)))
+		}
+		fmt.Println(t)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown sweep kind %q\n", *kind)
+		os.Exit(1)
+	}
+}

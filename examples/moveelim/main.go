@@ -1,0 +1,42 @@
+// Move Elimination walkthrough (paper §2, Figure 5): sweep the ISRB size
+// on the move-heavy crafty analogue and on the move-rich-but-insensitive
+// vortex analogue, showing that (a) a handful of entries suffice and
+// (b) elimination *rate* does not imply *gain*.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	regshare "repro"
+)
+
+func run(bench string, cfg regshare.Config) *regshare.Result {
+	r, err := regshare.Run(regshare.RunSpec{Benchmark: bench, Config: cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}
+
+func main() {
+	for _, bench := range []string{"crafty", "vortex", "namd"} {
+		base := run(bench, regshare.Baseline())
+		fmt.Printf("%s: baseline IPC %.3f\n", bench, base.Stats.IPC())
+		for _, entries := range []int{8, 16, 32, 0} {
+			label := fmt.Sprintf("ISRB-%d", entries)
+			if entries == 0 {
+				label = "unlimited"
+			}
+			r := run(bench, regshare.WithME(entries))
+			fmt.Printf("  ME %-10s IPC %.3f (%+.1f%%), eliminated %5.2f%% of µops\n",
+				label, r.Stats.IPC(),
+				100*(r.Stats.IPC()/base.Stats.IPC()-1),
+				100*r.Stats.ElimRate())
+		}
+	}
+	fmt.Println()
+	fmt.Println("Note the §6.1 contrast: vortex eliminates the most moves but gains")
+	fmt.Println("the least — its moves sit off the critical path — while crafty's")
+	fmt.Println("on-chain moves make it the top gainer.")
+}

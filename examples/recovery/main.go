@@ -1,0 +1,74 @@
+// Checkpoint recovery walkthrough: replays the paper's Figure 3 worked
+// example directly against the ISRB — the dual up-counter scheme that
+// makes register reference counting checkpointable — then contrasts the
+// whole-machine recovery cost of the ISRB against per-register counters
+// with sequential rollback (§4.2) on a branchy workload.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	regshare "repro"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/refcount"
+	"repro/internal/regfile"
+)
+
+func main() {
+	figure3()
+	machineComparison()
+}
+
+// figure3 narrates the paper's working example (§4.3.1).
+func figure3() {
+	fmt.Println("== Figure 3: dual-counter recovery, step by step ==")
+	isrb := refcount.NewISRB(8, 3)
+	p1 := regfile.MakePhys(isa.IntReg, 1)
+
+	fmt.Println("sub1 allocates p1 for rax (allocation itself is not tracked)")
+
+	isrb.TryShare(p1, refcount.KindSMB, isa.IntR(1), isa.NoReg)
+	fmt.Println("load4 bypasses to p1 (rbx => p1): referenced=1")
+
+	snap := isrb.Checkpoint()
+	fmt.Println("jmp8 checkpoints the ISRB's referenced fields")
+
+	isrb.TryShare(p1, refcount.KindSMB, isa.IntR(3), isa.NoReg)
+	fmt.Println("load10 (wrong path) bypasses to p1 (rdx => p1): referenced=2")
+
+	freed := isrb.OnCommitOverwrite(p1, isa.IntR(0))
+	fmt.Printf("shl3 commits, overwriting rax=>p1: committed=1, freed=%v\n", freed)
+	freed = isrb.OnCommitOverwrite(p1, isa.IntR(1))
+	fmt.Printf("sub7 commits, overwriting rbx=>p1: committed=2, freed=%v\n", freed)
+
+	fmt.Println("jmp8 was mispredicted -> restore the checkpoint:")
+	recovered := isrb.Restore(snap)
+	fmt.Printf("  restored referenced=1 < committed=2, so recovery frees %v\n", recovered)
+	fmt.Printf("  p1 still tracked: %v (entry released during recovery)\n", isrb.IsShared(p1))
+	fmt.Println()
+}
+
+// machineComparison runs the same branchy benchmark with the ISRB and with
+// per-register counters (sequential rollback) to show the recovery cost.
+func machineComparison() {
+	fmt.Println("== Recovery scheme comparison on a mispredict-heavy workload ==")
+	mk := func(kind core.TrackerKind) *regshare.Result {
+		cfg := regshare.Combined(0)
+		cfg.Tracker = core.TrackerConfig{Kind: kind, Entries: 64, CounterBits: 8}
+		r, err := regshare.Run(regshare.RunSpec{Benchmark: "gobmk", Config: cfg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return r
+	}
+	isrb := mk(core.TrackerISRB)
+	counters := mk(core.TrackerCounters)
+	fmt.Printf("ISRB (checkpointable, 1-cycle restore): IPC %.3f, %6d recovery cycles\n",
+		isrb.Stats.IPC(), isrb.Stats.RecoveryCycles)
+	fmt.Printf("per-register counters (sequential walk): IPC %.3f, %6d recovery cycles\n",
+		counters.Stats.IPC(), counters.Stats.RecoveryCycles)
+	fmt.Printf("branch mispredictions: %d — every one pays the walk (§4.2)\n",
+		counters.Stats.BranchMispredicts)
+}

@@ -1,0 +1,247 @@
+// Package branch assembles the front-end control-flow prediction stack of
+// Table 1: a TAGE direction predictor (1+12 components, ~15K entries), a
+// 2-way set-associative 4K-entry BTB and a 32-entry return address stack.
+//
+// The package owns the speculative global history. The core checkpoints a
+// HistorySnapshot per in-flight branch and restores it on a squash, which
+// is the same checkpoint-based recovery model the renamer uses (§4.1).
+package branch
+
+import (
+	"repro/internal/isa"
+	"repro/internal/tage"
+)
+
+// Config sizes the front-end predictors.
+type Config struct {
+	TAGE       tage.BranchConfig
+	BTBEntries int // total entries (2-way)
+	BTBWays    int
+	RASEntries int
+}
+
+// DefaultConfig mirrors Table 1.
+func DefaultConfig() Config {
+	return Config{
+		TAGE:       tage.DefaultBranchConfig(),
+		BTBEntries: 4096,
+		BTBWays:    2,
+		RASEntries: 32,
+	}
+}
+
+type btbEntry struct {
+	valid  bool
+	tag    uint64
+	target uint64
+	lru    uint8
+}
+
+// Predictor is the complete front-end branch prediction unit.
+type Predictor struct {
+	cfg  Config
+	tage *tage.BranchPredictor
+	btb  []btbEntry // sets × ways, flattened
+	sets int
+
+	ras    []uint64
+	rasTop int
+
+	hist tage.History
+
+	// Stats
+	Lookups     uint64
+	CondLookups uint64
+	CondMispred uint64
+	BTBMisses   uint64
+}
+
+// New builds a Predictor from cfg.
+func New(cfg Config) *Predictor {
+	sets := cfg.BTBEntries / cfg.BTBWays
+	return &Predictor{
+		cfg:  cfg,
+		tage: tage.NewBranchPredictor(cfg.TAGE),
+		btb:  make([]btbEntry, cfg.BTBEntries),
+		sets: sets,
+		ras:  make([]uint64, cfg.RASEntries),
+	}
+}
+
+// Snapshot captures the speculative history and RAS state so the core can
+// restore them on a pipeline flush. RAS content is included: the paper's
+// 32-entry RAS is small enough that full checkpointing is the realistic
+// recovery model for a checkpointed core.
+type Snapshot struct {
+	Hist   tage.History
+	RAS    []uint64
+	RASTop int
+}
+
+// Snapshot returns the current speculative front-end state.
+func (p *Predictor) Snapshot() Snapshot {
+	s := Snapshot{Hist: p.hist, RASTop: p.rasTop}
+	s.RAS = make([]uint64, len(p.ras))
+	copy(s.RAS, p.ras)
+	return s
+}
+
+// Restore rewinds the speculative front-end state to s.
+func (p *Predictor) Restore(s *Snapshot) {
+	p.hist = s.Hist
+	copy(p.ras, s.RAS)
+	p.rasTop = s.RASTop
+}
+
+// History exposes the current speculative history (for the SMB distance
+// predictor, which indexes on the same global history, §3.1).
+func (p *Predictor) History() *tage.History { return &p.hist }
+
+// Prediction is the front-end's verdict for one branch µop.
+type Prediction struct {
+	Taken  bool
+	Target uint64
+	// TAGE carries the direction predictor's update state for
+	// conditional branches.
+	TAGE tage.BranchPrediction
+	// HistAtPredict is the history before this branch was inserted;
+	// the trainer needs it at resolve time.
+	HistAtPredict tage.History
+}
+
+// Predict predicts the branch µop u and speculatively updates the history
+// and RAS. The returned Prediction must be handed back to Resolve.
+func (p *Predictor) Predict(u *isa.Uop) Prediction {
+	p.Lookups++
+	pr := Prediction{HistAtPredict: p.hist}
+
+	target, btbHit := p.btbLookup(u.PC)
+
+	switch u.Kind {
+	case isa.BrCond:
+		p.CondLookups++
+		pr.TAGE = p.tage.Predict(u.PC, &p.hist)
+		pr.Taken = pr.TAGE.Taken
+		if pr.Taken {
+			if btbHit {
+				pr.Target = target
+			} else {
+				// No target known: front-end cannot redirect; treat
+				// as not-taken and let execute fix it up.
+				p.BTBMisses++
+				pr.Taken = false
+			}
+		}
+		p.hist.Push(pr.Taken, u.PC)
+	case isa.BrUncond:
+		pr.Taken = true
+		if btbHit {
+			pr.Target = target
+		} else {
+			p.BTBMisses++
+			pr.Target = u.FallThrough // wrong; fixed at execute
+		}
+	case isa.BrCall:
+		pr.Taken = true
+		p.rasPush(u.FallThrough)
+		if btbHit {
+			pr.Target = target
+		} else {
+			p.BTBMisses++
+			pr.Target = u.FallThrough
+		}
+	case isa.BrRet:
+		pr.Taken = true
+		pr.Target = p.rasPop()
+	}
+	if !pr.Taken {
+		pr.Target = u.FallThrough
+	}
+	return pr
+}
+
+// Resolve trains the predictors with the architecturally-correct outcome.
+// mispredicted is returned for the caller's accounting (direction OR
+// target mismatch).
+func (p *Predictor) Resolve(u *isa.Uop, pr *Prediction) bool {
+	misp := pr.Taken != u.Taken || (u.Taken && pr.Target != u.Target)
+	if u.Kind == isa.BrCond {
+		p.tage.Update(u.PC, &pr.TAGE, u.Taken)
+		if pr.TAGE.Taken != u.Taken {
+			p.CondMispred++
+		}
+	}
+	if u.Taken {
+		p.btbInsert(u.PC, u.Target)
+	}
+	return misp
+}
+
+// FixHistoryAfterResolve re-pushes the corrected outcome after a squash
+// restored the pre-branch history.
+func (p *Predictor) FixHistoryAfterResolve(u *isa.Uop) {
+	if u.Kind == isa.BrCond {
+		p.hist.Push(u.Taken, u.PC)
+	}
+	if u.Kind == isa.BrCall {
+		p.rasPush(u.FallThrough)
+	}
+	if u.Kind == isa.BrRet {
+		p.rasPop()
+	}
+}
+
+func (p *Predictor) btbSet(pc uint64) int { return int((pc >> 2) % uint64(p.sets)) }
+
+func (p *Predictor) btbLookup(pc uint64) (uint64, bool) {
+	set := p.btbSet(pc)
+	base := set * p.cfg.BTBWays
+	for w := 0; w < p.cfg.BTBWays; w++ {
+		e := &p.btb[base+w]
+		if e.valid && e.tag == pc {
+			e.lru = 0
+			for w2 := 0; w2 < p.cfg.BTBWays; w2++ {
+				if w2 != w {
+					p.btb[base+w2].lru++
+				}
+			}
+			return e.target, true
+		}
+	}
+	return 0, false
+}
+
+func (p *Predictor) btbInsert(pc, target uint64) {
+	set := p.btbSet(pc)
+	base := set * p.cfg.BTBWays
+	victim := base
+	for w := 0; w < p.cfg.BTBWays; w++ {
+		e := &p.btb[base+w]
+		if e.valid && e.tag == pc {
+			e.target = target
+			return
+		}
+		if !e.valid {
+			victim = base + w
+			break
+		}
+		if e.lru > p.btb[victim].lru {
+			victim = base + w
+		}
+	}
+	p.btb[victim] = btbEntry{valid: true, tag: pc, target: target, lru: 0}
+}
+
+func (p *Predictor) rasPush(addr uint64) {
+	p.rasTop = (p.rasTop + 1) % len(p.ras)
+	p.ras[p.rasTop] = addr
+}
+
+func (p *Predictor) rasPop() uint64 {
+	addr := p.ras[p.rasTop]
+	p.rasTop--
+	if p.rasTop < 0 {
+		p.rasTop = len(p.ras) - 1
+	}
+	return addr
+}

@@ -1,0 +1,173 @@
+// Package cache implements the paper's cache hierarchy (Table 1): an 8-way
+// 32KB L1I (1 cycle), an 8-way 32KB L1D (4 cycles, 64 MSHRs), and a unified
+// 16-way 1MB L2 (12 cycles, 64 MSHRs) with a degree-8 distance-1 stride
+// prefetcher. All caches use 64B lines and LRU replacement.
+//
+// The model is latency-resolving rather than event-driven: an access made
+// at cycle `now` immediately returns its completion cycle, with MSHR
+// occupancy, miss merging and DRAM bank/bus contention folded into that
+// completion time. This preserves the latency distribution and bandwidth
+// behaviour the paper's mechanisms interact with (STLF latency vs. L1 hit
+// latency, miss-level parallelism) at a fraction of the complexity.
+package cache
+
+// LineBytes is the cache line size used throughout the hierarchy.
+const LineBytes = 64
+
+// Config describes one cache level.
+type Config struct {
+	Name     string
+	SizeKB   int
+	Ways     int
+	Latency  uint64 // hit latency in cycles
+	MSHRs    int
+	WriteBck bool
+}
+
+type line struct {
+	valid bool
+	dirty bool
+	tag   uint64
+	lru   uint32
+}
+
+type mshr struct {
+	block   uint64
+	readyAt uint64
+}
+
+// Cache is one level of the hierarchy.
+type Cache struct {
+	cfg   Config
+	sets  int
+	lines []line // sets × ways
+	clock uint32 // LRU timestamp source
+
+	mshrs []mshr
+
+	// Stats
+	Accesses   uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64
+	MSHRStalls uint64
+	MergedMiss uint64
+}
+
+// New builds a cache level.
+func New(cfg Config) *Cache {
+	nlines := cfg.SizeKB * 1024 / LineBytes
+	sets := nlines / cfg.Ways
+	return &Cache{
+		cfg:   cfg,
+		sets:  sets,
+		lines: make([]line, nlines),
+		mshrs: make([]mshr, 0, cfg.MSHRs),
+	}
+}
+
+func (c *Cache) setOf(block uint64) int { return int(block % uint64(c.sets)) }
+
+// lookup probes for block; hit updates LRU.
+func (c *Cache) lookup(block uint64) bool {
+	set := c.setOf(block)
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		l := &c.lines[base+w]
+		if l.valid && l.tag == block {
+			c.clock++
+			l.lru = c.clock
+			return true
+		}
+	}
+	return false
+}
+
+// insert fills block, returning (victimBlock, hadDirtyVictim).
+func (c *Cache) insert(block uint64, dirty bool) (uint64, bool) {
+	set := c.setOf(block)
+	base := set * c.cfg.Ways
+	victim := base
+	for w := 0; w < c.cfg.Ways; w++ {
+		l := &c.lines[base+w]
+		if l.valid && l.tag == block { // already filled (merged miss)
+			l.dirty = l.dirty || dirty
+			return 0, false
+		}
+		if !l.valid {
+			victim = base + w
+			break
+		}
+		if l.lru < c.lines[victim].lru {
+			victim = base + w
+		}
+	}
+	v := c.lines[victim]
+	c.clock++
+	c.lines[victim] = line{valid: true, dirty: dirty, tag: block, lru: c.clock}
+	if v.valid {
+		c.Evictions++
+		if v.dirty {
+			c.Writebacks++
+			return v.tag, true
+		}
+	}
+	return 0, false
+}
+
+// markDirty sets the dirty bit if the block is present.
+func (c *Cache) markDirty(block uint64) {
+	set := c.setOf(block)
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		l := &c.lines[base+w]
+		if l.valid && l.tag == block {
+			l.dirty = true
+			return
+		}
+	}
+}
+
+// mshrLookup returns the in-flight fill for block, if any, and reclaims
+// expired MSHRs as a side effect.
+func (c *Cache) mshrLookup(block uint64, now uint64) (uint64, bool) {
+	live := c.mshrs[:0]
+	var ready uint64
+	found := false
+	for _, m := range c.mshrs {
+		if m.readyAt <= now {
+			continue // fill completed; MSHR free
+		}
+		if m.block == block {
+			ready = m.readyAt
+			found = true
+		}
+		live = append(live, m)
+	}
+	c.mshrs = live
+	return ready, found
+}
+
+// mshrAllocate records an outstanding miss; if all MSHRs are busy the
+// request is delayed until the earliest one frees (the paper's cores stall
+// allocation when MSHRs are exhausted).
+func (c *Cache) mshrAllocate(block uint64, now uint64, fillAt uint64) uint64 {
+	if len(c.mshrs) >= c.cfg.MSHRs {
+		c.MSHRStalls++
+		earliest := c.mshrs[0].readyAt
+		idx := 0
+		for i, m := range c.mshrs {
+			if m.readyAt < earliest {
+				earliest = m.readyAt
+				idx = i
+			}
+		}
+		// Wait for that MSHR, then retry: the fill completes later.
+		delay := earliest - now
+		fillAt += delay
+		c.mshrs[idx] = mshr{block: block, readyAt: fillAt}
+		return fillAt
+	}
+	c.mshrs = append(c.mshrs, mshr{block: block, readyAt: fillAt})
+	return fillAt
+}

@@ -1,0 +1,168 @@
+package cache
+
+import "testing"
+
+func testHier() *Hierarchy {
+	return NewHierarchy(DefaultHierarchyConfig())
+}
+
+// TestL1DHitLatency: Table 1's 4-cycle L1D.
+func TestL1DHitLatency(t *testing.T) {
+	h := testHier()
+	h.ReadData(0x100, 0x8000, 0) // miss, fills
+	start := uint64(10_000)
+	done := h.ReadData(0x100, 0x8000, start)
+	if got := done - start; got != 4 {
+		t.Fatalf("L1D hit latency = %d, want 4", got)
+	}
+}
+
+// TestL2HitLatency: an L1 miss hitting in L2 costs L1 + L2 latency.
+func TestL2HitLatency(t *testing.T) {
+	h := testHier()
+	h.ReadData(0x100, 0x8000, 0) // fill both levels
+	// Evict from L1 by filling its set: L1 is 64 sets x 8 ways; same-set
+	// blocks are 64*64=4096 bytes apart.
+	for i := 1; i <= 8; i++ {
+		h.ReadData(0x100, 0x8000+uint64(i)*4096, 1000+uint64(i)*500)
+	}
+	start := uint64(1_000_000)
+	done := h.ReadData(0x100, 0x8000, start)
+	if got := done - start; got != 4+12 {
+		t.Fatalf("L2 hit latency = %d, want 16", got)
+	}
+}
+
+// TestDRAMLatencyBand: a cold access costs at least L1+L2+DRAM-min.
+func TestDRAMLatencyBand(t *testing.T) {
+	h := testHier()
+	start := uint64(1000) // past the t=0 refresh window
+	done := h.ReadData(0x100, 0x100000, start)
+	lat := done - start
+	if lat < 4+12+75 {
+		t.Fatalf("cold read latency = %d, want >= 91", lat)
+	}
+	if lat > 4+12+185+100 {
+		t.Fatalf("cold unloaded read latency = %d, unreasonably high", lat)
+	}
+}
+
+// TestLRUReplacement: the least-recently-used way is the victim.
+func TestLRUReplacement(t *testing.T) {
+	c := New(Config{Name: "t", SizeKB: 1, Ways: 2, Latency: 1, MSHRs: 4})
+	// 1KB, 2-way, 64B lines -> 8 sets. Same-set stride = 8*64 = 512.
+	a, b, x := uint64(0), uint64(512), uint64(1024)
+	blk := func(addr uint64) uint64 { return addr / LineBytes }
+	c.insert(blk(a), false)
+	c.insert(blk(b), false)
+	c.lookup(blk(a)) // a is now MRU
+	c.insert(blk(x), false)
+	if !c.lookup(blk(a)) {
+		t.Fatal("MRU block evicted")
+	}
+	if c.lookup(blk(b)) {
+		t.Fatal("LRU block survived")
+	}
+}
+
+// TestMSHRMerging: a second miss to an in-flight block merges instead of
+// issuing a new fill.
+func TestMSHRMerging(t *testing.T) {
+	h := testHier()
+	readsBefore := h.Mem.Reads
+	d1 := h.ReadData(0x100, 0x200000, 0)
+	d2 := h.ReadData(0x104, 0x200008, 1) // same 64B line, 1 cycle later
+	if h.Mem.Reads != readsBefore+1 {
+		t.Fatalf("DRAM reads = %d, want 1 (merged)", h.Mem.Reads-readsBefore)
+	}
+	if d2 > d1+8 {
+		t.Fatalf("merged miss completed at %d, primary at %d", d2, d1)
+	}
+	if h.L1D.MergedMiss == 0 {
+		t.Fatal("merge not recorded")
+	}
+}
+
+// TestWritebackOfDirtyVictims: dirty lines written back on eviction.
+func TestWritebackOfDirtyVictims(t *testing.T) {
+	h := testHier()
+	h.WriteData(0x100, 0x8000, 0)
+	// Evict by filling the set.
+	for i := 1; i <= 8; i++ {
+		h.ReadData(0x100, 0x8000+uint64(i)*4096, uint64(i)*1000)
+	}
+	if h.L1D.Writebacks == 0 {
+		t.Fatal("dirty eviction produced no writeback")
+	}
+}
+
+// TestStridePrefetcher: a steady stride trains after two confirmations and
+// then prefetches `degree` blocks.
+func TestStridePrefetcher(t *testing.T) {
+	p := NewStridePrefetcher(64, 8)
+	const pc = 0x500
+	if out := p.Observe(pc, 0x1000); out != nil {
+		t.Fatal("prefetched on first access")
+	}
+	if out := p.Observe(pc, 0x1040); out != nil {
+		t.Fatal("prefetched before stride confirmed")
+	}
+	p.Observe(pc, 0x1080)
+	out := p.Observe(pc, 0x10C0)
+	if len(out) == 0 {
+		t.Fatal("confirmed stride produced no prefetches")
+	}
+	if len(out) > 8 {
+		t.Fatalf("prefetch degree exceeded: %d", len(out))
+	}
+	// Prefetches must be ahead of the demand address.
+	for _, blk := range out {
+		if blk*LineBytes <= 0x10C0 {
+			t.Fatalf("prefetch %#x behind demand", blk*LineBytes)
+		}
+	}
+}
+
+// TestPrefetcherResetsOnStrideChange: a changed stride needs reconfirming.
+func TestPrefetcherResetsOnStrideChange(t *testing.T) {
+	p := NewStridePrefetcher(64, 8)
+	const pc = 0x700
+	p.Observe(pc, 0x1000)
+	p.Observe(pc, 0x1040)
+	p.Observe(pc, 0x1080)
+	if out := p.Observe(pc, 0x5000); out != nil {
+		t.Fatal("prefetched across a stride break")
+	}
+}
+
+// TestPrefetcherImprovesStreamLatency: end-to-end, a streaming read
+// pattern should see many L2 hits from prefetches.
+func TestPrefetcherImprovesStreamLatency(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	on := NewHierarchy(cfg)
+	cfg.PrefEnable = false
+	off := NewHierarchy(cfg)
+
+	var latOn, latOff uint64
+	clock := uint64(0)
+	for i := 0; i < 512; i++ {
+		addr := 0x40_0000 + uint64(i)*64
+		clock += 200
+		latOn += on.ReadData(0x900, addr, clock) - clock
+		latOff += off.ReadData(0x900, addr, clock) - clock
+	}
+	if latOn >= latOff {
+		t.Fatalf("prefetcher did not help a pure stream: %d vs %d cycles", latOn, latOff)
+	}
+}
+
+// TestFetchInstLatency: 1-cycle L1I hit.
+func TestFetchInstLatency(t *testing.T) {
+	h := testHier()
+	h.FetchInst(0x1000, 0)
+	start := uint64(5000)
+	done := h.FetchInst(0x1000, start)
+	if got := done - start; got != 1 {
+		t.Fatalf("L1I hit latency = %d, want 1", got)
+	}
+}

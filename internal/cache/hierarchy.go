@@ -1,0 +1,244 @@
+package cache
+
+import "repro/internal/dram"
+
+// StridePrefetcher is the L2 stride prefetcher of Table 1 (degree 8,
+// distance 1). It tracks per-PC strides in a small direct-mapped table and,
+// once a stride is confirmed twice, issues `degree` prefetches for
+// consecutive strided blocks beyond the demand miss.
+type StridePrefetcher struct {
+	entries []strideEntry
+	degree  int
+
+	Issued uint64
+	Useful uint64 // filled blocks later hit by demand (approximate)
+}
+
+type strideEntry struct {
+	pc     uint64
+	last   uint64
+	stride int64
+	conf   uint8
+}
+
+// NewStridePrefetcher builds a prefetcher with the given table size and
+// prefetch degree.
+func NewStridePrefetcher(tableEntries, degree int) *StridePrefetcher {
+	return &StridePrefetcher{entries: make([]strideEntry, tableEntries), degree: degree}
+}
+
+// Observe trains on a demand access and returns the list of block
+// addresses to prefetch (may be empty).
+func (p *StridePrefetcher) Observe(pc, addr uint64) []uint64 {
+	if len(p.entries) == 0 {
+		return nil
+	}
+	e := &p.entries[(pc>>2)%uint64(len(p.entries))]
+	if e.pc != pc {
+		*e = strideEntry{pc: pc, last: addr}
+		return nil
+	}
+	stride := int64(addr) - int64(e.last)
+	e.last = addr
+	if stride == 0 {
+		return nil
+	}
+	if stride == e.stride {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		e.stride = stride
+		e.conf = 0
+		return nil
+	}
+	if e.conf < 2 {
+		return nil
+	}
+	// Confident: prefetch `degree` strided lines starting one stride out
+	// (distance 1).
+	out := make([]uint64, 0, p.degree)
+	next := int64(addr)
+	seen := map[uint64]bool{addr / LineBytes: true}
+	for i := 0; i < p.degree; i++ {
+		next += stride
+		if next < 0 {
+			break
+		}
+		blk := uint64(next) / LineBytes
+		if !seen[blk] {
+			seen[blk] = true
+			out = append(out, blk)
+		}
+	}
+	p.Issued += uint64(len(out))
+	return out
+}
+
+// Hierarchy composes L1I, L1D, L2 and DRAM into the full memory system.
+type Hierarchy struct {
+	L1I  *Cache
+	L1D  *Cache
+	L2   *Cache
+	Mem  *dram.Memory
+	Pref *StridePrefetcher
+}
+
+// HierarchyConfig sizes the full memory system.
+type HierarchyConfig struct {
+	L1I        Config
+	L1D        Config
+	L2         Config
+	DRAM       dram.Config
+	PrefEnable bool
+	PrefTable  int
+	PrefDegree int
+}
+
+// DefaultHierarchyConfig mirrors Table 1.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1I:  Config{Name: "L1I", SizeKB: 32, Ways: 8, Latency: 1, MSHRs: 16},
+		L1D:  Config{Name: "L1D", SizeKB: 32, Ways: 8, Latency: 4, MSHRs: 64, WriteBck: true},
+		L2:   Config{Name: "L2", SizeKB: 1024, Ways: 16, Latency: 12, MSHRs: 64, WriteBck: true},
+		DRAM: dram.DefaultConfig(),
+
+		PrefEnable: true,
+		PrefTable:  256,
+		PrefDegree: 8,
+	}
+}
+
+// NewHierarchy builds the memory system.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	h := &Hierarchy{
+		L1I: New(cfg.L1I),
+		L1D: New(cfg.L1D),
+		L2:  New(cfg.L2),
+		Mem: dram.New(cfg.DRAM),
+	}
+	if cfg.PrefEnable {
+		h.Pref = NewStridePrefetcher(cfg.PrefTable, cfg.PrefDegree)
+	}
+	return h
+}
+
+// l2Access handles an access that missed in an L1: probe L2, go to DRAM on
+// miss, run the prefetcher on demand accesses. Returns the cycle the line
+// is available to the L1.
+func (h *Hierarchy) l2Access(pc, addr uint64, now uint64, isWrite bool) uint64 {
+	block := addr / LineBytes
+	l2Ready := now + h.L2.cfg.Latency
+
+	h.L2.Accesses++
+	hit := h.L2.lookup(block)
+	if hit {
+		// The line may still be in flight: a hit cannot complete before
+		// its fill arrives.
+		if r, ok := h.L2.mshrLookup(block, now); ok && r > l2Ready {
+			h.L2.MergedMiss++
+			l2Ready = r
+		}
+	}
+
+	if h.Pref != nil && !isWrite {
+		for _, pblk := range h.Pref.Observe(pc, addr) {
+			if !h.L2.lookup(pblk) {
+				// Prefetches fill the L2 after a DRAM access but do not
+				// delay the demand request (no L2 port constraints).
+				fillAt := h.Mem.Read(pblk*LineBytes, now)
+				if victim, dirty := h.L2.insert(pblk, false); dirty {
+					h.Mem.Write(victim*LineBytes, fillAt)
+				}
+			} else {
+				h.Pref.Useful++
+			}
+		}
+	}
+
+	if hit {
+		if isWrite {
+			h.L2.markDirty(block)
+		}
+		return l2Ready
+	}
+	h.L2.Misses++
+
+	// Merge with an in-flight fill when possible.
+	if ready, ok := h.L2.mshrLookup(block, now); ok {
+		h.L2.MergedMiss++
+		if ready < l2Ready {
+			ready = l2Ready
+		}
+		return ready
+	}
+
+	fillAt := h.Mem.Read(block*LineBytes, l2Ready)
+	fillAt = h.L2.mshrAllocate(block, now, fillAt)
+	if victim, dirty := h.L2.insert(block, isWrite); dirty {
+		h.Mem.Write(victim*LineBytes, fillAt)
+	}
+	if isWrite {
+		h.L2.markDirty(block)
+	}
+	return fillAt
+}
+
+// ReadData performs a data load at cycle now and returns the completion
+// cycle (the L1D hit latency of 4 cycles is the floor).
+func (h *Hierarchy) ReadData(pc, addr uint64, now uint64) uint64 {
+	block := addr / LineBytes
+	h.L1D.Accesses++
+	ready := now + h.L1D.cfg.Latency
+	if h.L1D.lookup(block) {
+		// A hit on an in-flight line completes when the fill arrives.
+		if r, ok := h.L1D.mshrLookup(block, now); ok && r > ready {
+			h.L1D.MergedMiss++
+			return r
+		}
+		return ready
+	}
+	h.L1D.Misses++
+	fillAt := h.l2Access(pc, addr, ready, false)
+	fillAt = h.L1D.mshrAllocate(block, now, fillAt)
+	if victim, dirty := h.L1D.insert(block, false); dirty {
+		h.l2Access(pc, victim*LineBytes, fillAt, true)
+	}
+	return fillAt
+}
+
+// WriteData performs a committed store's write at cycle now (write-back,
+// write-allocate). Returns the cycle the store is globally performed;
+// commit does not wait on it.
+func (h *Hierarchy) WriteData(pc, addr uint64, now uint64) uint64 {
+	block := addr / LineBytes
+	h.L1D.Accesses++
+	ready := now + h.L1D.cfg.Latency
+	if h.L1D.lookup(block) {
+		h.L1D.markDirty(block)
+		return ready
+	}
+	h.L1D.Misses++
+	fillAt := h.l2Access(pc, addr, ready, false)
+	if victim, dirty := h.L1D.insert(block, true); dirty {
+		h.l2Access(pc, victim*LineBytes, fillAt, true)
+	}
+	return fillAt
+}
+
+// FetchInst performs an instruction fetch at cycle now and returns the
+// completion cycle (1-cycle L1I hit).
+func (h *Hierarchy) FetchInst(addr uint64, now uint64) uint64 {
+	block := addr / LineBytes
+	h.L1I.Accesses++
+	ready := now + h.L1I.cfg.Latency
+	if h.L1I.lookup(block) {
+		return ready
+	}
+	h.L1I.Misses++
+	fillAt := h.l2Access(addr, addr, ready, false)
+	if victim, dirty := h.L1I.insert(block, false); dirty {
+		h.l2Access(addr, victim*LineBytes, fillAt, true)
+	}
+	return fillAt
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/regfile"
+)
+
+// DrainAndAudit stops fetching, drains the pipeline, forces all deferred
+// (lazy) reclaims, and then audits physical register conservation: every
+// register must be accounted for exactly once as free, architecturally
+// mapped, or retained by the reference-counting structure. With register
+// sharing, the failure mode the paper's scheme must exclude is a *leak* —
+// a register that is neither free nor reachable — which is exactly what a
+// lost `referenced`/`committed` count would produce (§4.3).
+//
+// It returns an error describing the first discrepancy found. The test
+// suite runs it after full simulations under every tracker scheme.
+func (c *Core) DrainAndAudit() error {
+	// Drain: stop fetch by clearing the front-end queue and refusing to
+	// refill it, then cycle until the ROB empties.
+	c.fetchStallUntil = ^uint64(0) >> 1
+	c.fqHead, c.fqTail = 0, 0
+	for guard := 0; c.robCount > 0; guard++ {
+		if guard > 1_000_000 {
+			return fmt.Errorf("core: pipeline failed to drain (%s)", c.debugState())
+		}
+		c.Cycle()
+	}
+	// Force every deferred reclaim (lazy mode retains them indefinitely).
+	c.drainPendingReclaim(len(c.pendingReclaim))
+
+	for class := 0; class < 2; class++ {
+		cls := isa.RegClass(class)
+		reachable := make(map[regfile.PhysReg]string, c.cfg.PhysRegsPerClass)
+		// After a drain RM == CRM must hold: every speculative mapping
+		// either committed or was squashed.
+		for i := 0; i < isa.NumArchRegs; i++ {
+			r := isa.Reg{Class: cls, Index: uint8(i)}
+			if c.rf.RM.Get(r) != c.rf.CRM.Get(r) {
+				return fmt.Errorf("core: drained RM/CRM disagree on %v: %v vs %v",
+					r, c.rf.RM.Get(r), c.rf.CRM.Get(r))
+			}
+			reachable[c.rf.RM.Get(r)] = "mapped:" + r.String()
+		}
+
+		free, trackedOnly := 0, 0
+		for i := 0; i < c.cfg.PhysRegsPerClass; i++ {
+			p := regfile.MakePhys(cls, i)
+			inFL := c.rf.InFreeList(p)
+			if inFL {
+				free++
+			}
+			_, mapped := reachable[p]
+			tracked := c.tracker.IsShared(p)
+			switch {
+			case inFL && mapped:
+				return fmt.Errorf("core: %v is free AND architecturally mapped", p)
+			case inFL && tracked:
+				return fmt.Errorf("core: %v is free AND still tracked by %s", p, c.tracker.Name())
+			case !inFL && !mapped && !tracked:
+				return fmt.Errorf("core: %v leaked: neither free, mapped, nor tracked", p)
+			}
+			if tracked && !mapped && !inFL {
+				trackedOnly++
+			}
+		}
+		// Exact conservation. Note that |mapped| can be below
+		// NumArchRegs: after an eliminated move commits, two
+		// architectural registers legitimately share one physical
+		// register (that is the whole point of the paper).
+		if free+len(reachable)+trackedOnly != c.cfg.PhysRegsPerClass {
+			return fmt.Errorf("core: %s conservation broken: free=%d mapped=%d tracked-only=%d of %d",
+				cls, free, len(reachable), trackedOnly, c.cfg.PhysRegsPerClass)
+		}
+	}
+	return nil
+}

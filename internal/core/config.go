@@ -1,0 +1,226 @@
+// Package core implements the cycle-level out-of-order superscalar
+// processor of Table 1 — the substrate the paper's mechanisms (ISRB, Move
+// Elimination, Speculative Memory Bypassing) are evaluated on.
+//
+// The pipeline models an aggressive 4GHz, 8-wide-front-end, 6-issue core:
+// a 19-cycle fetch-to-commit depth, checkpoint-based branch recovery (20
+// cycles minimum misprediction penalty), a 192-entry ROB, a 60-entry
+// unified scheduler with the paper's functional-unit pool, 72/48-entry
+// load/store queues with 4-cycle store-to-load forwarding, 256+256
+// physical registers, Store Sets memory dependence prediction, TAGE branch
+// prediction and a three-level memory hierarchy.
+package core
+
+import (
+	"repro/internal/branch"
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/moveelim"
+	"repro/internal/refcount"
+	"repro/internal/smb"
+	"repro/internal/storesets"
+)
+
+// TrackerKind selects the register reference counting scheme.
+type TrackerKind string
+
+// Tracker kinds (§4).
+const (
+	TrackerISRB      TrackerKind = "isrb"
+	TrackerUnlimited TrackerKind = "unlimited"
+	TrackerCounters  TrackerKind = "counters"
+	TrackerMIT       TrackerKind = "mit"
+	TrackerRDA       TrackerKind = "rda"
+)
+
+// TrackerConfig selects and sizes the reference counting scheme.
+type TrackerConfig struct {
+	Kind        TrackerKind
+	Entries     int // ISRB/MIT/RDA entries
+	CounterBits int // ISRB counter width (§6.3: 3 bits suffice)
+}
+
+// DistanceKind selects the SMB distance predictor.
+type DistanceKind string
+
+// Distance predictor kinds (§3.1).
+const (
+	DistanceTAGE DistanceKind = "tage"
+	DistanceNoSQ DistanceKind = "nosq"
+)
+
+// SMBConfig controls Speculative Memory Bypassing.
+type SMBConfig struct {
+	Enabled bool
+	// LoadLoad generalizes bypassing to load-load pairs (§3).
+	LoadLoad bool
+	// Predictor picks the Instruction Distance predictor flavour.
+	Predictor DistanceKind
+	// DDT sizes the Data Dependency Table (Entries == 0: unlimited).
+	DDT smb.DDTConfig
+	// BypassCommitted allows bypassing from committed instructions still
+	// resident in the ROB, with lazy register reclaiming (§3.3).
+	BypassCommitted bool
+	// TAGEGeometry optionally overrides the TAGE-like distance
+	// predictor's history lengths (extension experiments): nil keeps the
+	// paper's 2/5/11/27/64 series; a non-nil empty slice selects a
+	// PC-indexed base table only.
+	TAGEGeometry []int
+}
+
+// Config is the full machine configuration.
+type Config struct {
+	// Widths.
+	FetchWidth  int
+	RenameWidth int
+	IssueWidth  int
+	CommitWidth int
+
+	// Window sizes.
+	ROBSize int
+	IQSize  int
+	LQSize  int
+	SQSize  int
+
+	PhysRegsPerClass int
+	MaxCheckpoints   int
+
+	// Depths: fetch-to-rename and rename-to-dispatch; the paper's core is
+	// 19 cycles fetch-to-commit with a 20-cycle minimum branch penalty.
+	FrontEndDepth    uint64
+	RenameToDispatch uint64
+
+	// STLFLatency is the store-to-load forwarding latency (Table 1: 4).
+	STLFLatency uint64
+
+	// Functional units (Table 1): 4 ALU (1c), 1 MulDiv (3c/25c, divide
+	// not pipelined), 2 FP (3c), 2 FPMulDiv (5c/10c, divide not
+	// pipelined), 2 load/store ports + 1 store-only port.
+	NumALU      int
+	NumMulDiv   int
+	NumFP       int
+	NumFPMulDiv int
+	NumLdStr    int
+	NumStr      int
+
+	Branch    branch.Config
+	Mem       cache.HierarchyConfig
+	StoreSets storesets.Config
+
+	ME      moveelim.Config
+	SMB     SMBConfig
+	Tracker TrackerConfig
+
+	// ReclaimFlagFilter enables the Rename-Map flag of §4.3.4 that lets
+	// most commits skip the ISRB CAM. It is a port-pressure optimization
+	// only; turning it off changes statistics, not behaviour.
+	ReclaimFlagFilter bool
+
+	// LazyReclaimLowWater triggers the deferred reclaim scan when fewer
+	// than this many registers are free (§3.3 uses rename_width × 2).
+	LazyReclaimLowWater int
+}
+
+// DefaultConfig mirrors Table 1 with all optimizations OFF (the Figure 4
+// baseline).
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:  8,
+		RenameWidth: 8,
+		IssueWidth:  6,
+		CommitWidth: 8,
+
+		ROBSize: 192,
+		IQSize:  60,
+		LQSize:  72,
+		SQSize:  48,
+
+		PhysRegsPerClass: 256,
+		MaxCheckpoints:   64,
+
+		FrontEndDepth:    13,
+		RenameToDispatch: 2,
+
+		STLFLatency: 4,
+
+		NumALU:      4,
+		NumMulDiv:   1,
+		NumFP:       2,
+		NumFPMulDiv: 2,
+		NumLdStr:    2,
+		NumStr:      1,
+
+		Branch:    branch.DefaultConfig(),
+		Mem:       cache.DefaultHierarchyConfig(),
+		StoreSets: storesets.DefaultConfig(),
+
+		ME: moveelim.Config{Enabled: false, IntOnly: true},
+		SMB: SMBConfig{
+			Enabled:   false,
+			LoadLoad:  true,
+			Predictor: DistanceTAGE,
+			DDT:       smb.DDTConfig{Entries: 0},
+		},
+		Tracker: TrackerConfig{Kind: TrackerUnlimited, Entries: 32, CounterBits: 3},
+
+		ReclaimFlagFilter:   true,
+		LazyReclaimLowWater: 16,
+	}
+}
+
+// NewTracker instantiates the configured reference counting scheme.
+func (c *Config) NewTracker() refcount.Tracker {
+	tc := c.Tracker
+	if tc.Entries <= 0 {
+		tc.Entries = 32
+	}
+	if tc.CounterBits <= 0 {
+		tc.CounterBits = 3
+	}
+	switch tc.Kind {
+	case TrackerISRB:
+		return refcount.NewISRB(tc.Entries, tc.CounterBits)
+	case TrackerCounters:
+		return refcount.NewPerRegCounters(2*c.PhysRegsPerClass, tc.CounterBits, c.CommitWidth)
+	case TrackerMIT:
+		return refcount.NewMIT(tc.Entries)
+	case TrackerRDA:
+		return refcount.NewRDA(tc.Entries)
+	default:
+		return refcount.NewUnlimited()
+	}
+}
+
+// ExecLatency returns the execution latency and which unit class a µop
+// uses.
+func ExecLatency(u *isa.Uop) uint64 {
+	switch u.Op {
+	case isa.MulDiv:
+		if u.Heavy {
+			return 25
+		}
+		return 3
+	case isa.FP:
+		return 3
+	case isa.FPMulDiv:
+		if u.Heavy {
+			return 10
+		}
+		return 5
+	default: // ALU, Move (non-eliminated), Branch
+		return 1
+	}
+}
+
+// Sanity checks used by New.
+func (c *Config) validate() {
+	if c.ROBSize <= 0 || c.IQSize <= 0 || c.LQSize <= 0 || c.SQSize <= 0 {
+		panic("core: non-positive window size")
+	}
+	if c.PhysRegsPerClass <= isa.NumArchRegs {
+		panic("core: need more physical than architectural registers")
+	}
+	if c.RenameWidth <= 0 || c.IssueWidth <= 0 || c.CommitWidth <= 0 {
+		panic("core: non-positive width")
+	}
+}

@@ -1,0 +1,373 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/branch"
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/moveelim"
+	"repro/internal/program"
+	"repro/internal/refcount"
+	"repro/internal/regfile"
+	"repro/internal/smb"
+	"repro/internal/storesets"
+	"repro/internal/tage"
+)
+
+// pendingCompletion marks an issued µop whose completion time is not yet
+// known (a load blocked on a store writeback).
+const pendingCompletion = ^uint64(0)
+
+// Flush causes recorded in a ROB entry and resolved when it reaches the
+// commit head.
+const (
+	flushNone uint8 = iota
+	flushMemOrder
+	flushBypass
+)
+
+type robEntry struct {
+	valid     bool
+	u         isa.Uop
+	csn       uint64
+	streamIdx uint64 // correct-path trace index (wrong path: ^0)
+
+	srcPhys     [isa.MaxSrcRegs]regfile.PhysReg
+	destPhys    regfile.PhysReg
+	oldDestPhys regfile.PhysReg
+	oldDestFlag bool
+	allocatedFL bool
+
+	eliminated          bool
+	bypassed            bool
+	bypassPhys          regfile.PhysReg
+	bypassFromCommitted bool
+
+	hasMemDep  bool
+	memDepCSN  uint64
+	depDelayed bool
+
+	lqIdx, sqIdx int64 // absolute LSQ slot ids (-1 = none)
+	ckptIdx      int
+
+	inIQ       bool
+	issued     bool
+	completed  bool
+	readyAt    uint64
+	dispatchAt uint64
+	needsFlush uint8
+
+	pred         branch.Prediction
+	bpSnap       branch.Snapshot
+	fetchMispred bool
+	resumePos    uint64
+	histSnap     tage.History
+	smbDist      uint16
+	smbConf      bool
+}
+
+type winEntry struct {
+	valid     bool
+	csn       uint64
+	destPhys  regfile.PhysReg
+	hasDest   bool
+	committed bool
+	epoch     uint32
+}
+
+type lqEntry struct {
+	valid        bool
+	robIdx       int
+	csn          uint64
+	addr         uint64
+	width        uint8
+	issued       bool
+	doneAt       uint64
+	forwardedCSN uint64 // 0 = from memory
+	waitWBStore  uint64 // csn of store whose writeback unblocks us (0 = none)
+	violated     bool
+}
+
+type sqEntry struct {
+	valid    bool
+	robIdx   int
+	csn      uint64
+	pc       uint64
+	addr     uint64
+	width    uint8
+	executed bool
+	dataAt   uint64
+	wrong    bool // wrong-path store
+}
+
+type checkpoint struct {
+	inUse     bool
+	csn       uint64
+	rm        regfile.RenameMap
+	flags     [2][isa.NumArchRegs]bool
+	flHead    [2]uint64
+	tracker   refcount.Snapshot
+	bp        branch.Snapshot
+	resumePos uint64
+	renameCSN uint64
+}
+
+type fqEntry struct {
+	u            isa.Uop
+	streamIdx    uint64
+	readyAt      uint64
+	pred         branch.Prediction
+	bpSnap       branch.Snapshot
+	fetchMispred bool
+	resumePos    uint64
+	histSnap     tage.History
+	smbDist      uint16
+	smbConf      bool
+}
+
+type reclaimItem struct {
+	phys regfile.PhysReg
+	arch isa.Reg
+	flag bool
+	prod uint64 // csn of the overwriting (committing) instruction
+}
+
+// Core is one simulated processor running one program.
+type Core struct {
+	cfg     Config
+	prog    *program.Program
+	trace   *program.TraceWindow
+	bp      *branch.Predictor
+	mem     *cache.Hierarchy
+	ss      *storesets.StoreSets
+	rf      *regfile.File
+	tracker refcount.Tracker
+	me      *moveelim.Eliminator
+	dist    smb.DistancePredictor
+	trainer *smb.Trainer
+
+	cycle uint64
+
+	// Fetch.
+	fetchPos        uint64
+	diverged        bool
+	wrongPC         uint64
+	wrongSeq        uint64
+	fetchStallUntil uint64
+	lastAddrByPC    map[uint64]uint64
+	lastICachePC    uint64
+	fq              []fqEntry
+	fqHead, fqTail  uint64
+
+	// Rename.
+	renameCSN uint64
+	flags     [2][isa.NumArchRegs]bool
+
+	// ROB (ring).
+	rob                        []robEntry
+	robHead, robTail, robCount int
+
+	// Producer window (CSN ring, covers in-flight + retained committed).
+	window       []winEntry
+	releaseEpoch [2][]uint32
+
+	// Scheduler.
+	iq []int // robIdx, age-ordered
+
+	// LSQ (rings with absolute ids).
+	lq             []lqEntry
+	lqHead, lqTail uint64
+	sq             []sqEntry
+	sqHead, sqTail uint64
+
+	// Checkpoints.
+	ckpts     []checkpoint
+	liveCkpts int
+
+	// Unpipelined units.
+	mulDivBusyUntil uint64
+	fpDivBusyUntil  []uint64
+
+	tracer Tracer
+
+	// Commit side.
+	commitCSN       uint64
+	crmFlags        [2][isa.NumArchRegs]bool
+	committedFLHead [2]uint64
+	commitHist      tage.History
+	commitRAS       []uint64
+	commitRASTop    int
+	pendingReclaim  []reclaimItem
+
+	stats Stats
+}
+
+// New builds a core for the given program.
+func New(cfg Config, prog *program.Program) *Core {
+	cfg.validate()
+	c := &Core{
+		cfg:            cfg,
+		prog:           prog,
+		trace:          program.NewTraceWindow(program.NewExecutor(prog), 4096),
+		bp:             branch.New(cfg.Branch),
+		mem:            cache.NewHierarchy(cfg.Mem),
+		ss:             storesets.New(cfg.StoreSets),
+		rf:             regfile.NewFile(cfg.PhysRegsPerClass),
+		tracker:        cfg.NewTracker(),
+		me:             moveelim.New(cfg.ME),
+		lastAddrByPC:   make(map[uint64]uint64),
+		rob:            make([]robEntry, cfg.ROBSize),
+		window:         make([]winEntry, 1024),
+		lq:             make([]lqEntry, cfg.LQSize),
+		sq:             make([]sqEntry, cfg.SQSize),
+		ckpts:          make([]checkpoint, cfg.MaxCheckpoints),
+		fq:             make([]fqEntry, 512),
+		fpDivBusyUntil: make([]uint64, cfg.NumFPMulDiv),
+		commitRAS:      make([]uint64, cfg.Branch.RASEntries),
+	}
+	c.releaseEpoch[0] = make([]uint32, cfg.PhysRegsPerClass)
+	c.releaseEpoch[1] = make([]uint32, cfg.PhysRegsPerClass)
+	if cfg.SMB.Enabled {
+		switch cfg.SMB.Predictor {
+		case DistanceNoSQ:
+			c.dist = smb.NewNoSQDistance()
+		default:
+			c.dist = smb.NewTAGEDistanceWithConfig(smb.TAGEConfigWithHistories(cfg.SMB.TAGEGeometry))
+		}
+		c.trainer = smb.NewTrainer(smb.NewDDT(cfg.SMB.DDT), c.dist, cfg.SMB.LoadLoad)
+	} else {
+		// The trainer still maintains CSN bookkeeping cheaply when SMB is
+		// off; skip it entirely for speed.
+		c.trainer = nil
+	}
+	return c
+}
+
+// Tracker exposes the reference counting scheme (for stats and tests).
+func (c *Core) Tracker() refcount.Tracker { return c.tracker }
+
+// Mem exposes the memory hierarchy (for stats).
+func (c *Core) Mem() *cache.Hierarchy { return c.mem }
+
+// BranchUnit exposes the branch predictor (for stats).
+func (c *Core) BranchUnit() *branch.Predictor { return c.bp }
+
+// MoveElim exposes the eliminator (for stats).
+func (c *Core) MoveElim() *moveelim.Eliminator { return c.me }
+
+// Distance exposes the SMB distance predictor (nil when SMB is off).
+func (c *Core) Distance() smb.DistancePredictor { return c.dist }
+
+// Trainer exposes the SMB commit-side trainer (nil when SMB is off).
+func (c *Core) Trainer() *smb.Trainer { return c.trainer }
+
+// Cycle advances the machine by one clock.
+func (c *Core) Cycle() {
+	c.commit()
+	c.writeback()
+	c.issue()
+	c.rename()
+	c.fetch()
+	c.cycle++
+	c.stats.Cycles++
+}
+
+// Run executes until `measure` µops have committed after a warmup of
+// `warmup` committed µops; statistics cover only the measured region.
+func (c *Core) Run(warmup, measure uint64) *Stats {
+	target := c.stats.Committed + warmup
+	c.runUntil(target)
+	c.stats.reset()
+	start := c.cycle
+	c.runUntil(c.stats.Committed + measure)
+	c.stats.Cycles = c.cycle - start
+	return &c.stats
+}
+
+func (c *Core) runUntil(committedTarget uint64) {
+	lastCommitted := c.stats.Committed
+	stuck := uint64(0)
+	for c.stats.Committed < committedTarget {
+		c.Cycle()
+		if c.stats.Committed == lastCommitted {
+			stuck++
+			if stuck > 200000 {
+				panic(fmt.Sprintf("core: no commit for %d cycles at cycle %d (%s)", stuck, c.cycle, c.debugState()))
+			}
+		} else {
+			stuck = 0
+			lastCommitted = c.stats.Committed
+		}
+	}
+}
+
+func (c *Core) debugState() string {
+	head := "empty"
+	if c.robCount > 0 {
+		e := &c.rob[c.robHead]
+		head = fmt.Sprintf("head %v csn=%d issued=%v completed=%v readyAt=%d inIQ=%v wrong=%v",
+			e.u.String(), e.csn, e.issued, e.completed, e.readyAt, e.inIQ, e.u.WrongPath)
+	}
+	return fmt.Sprintf("rob=%d iq=%d lq=%d sq=%d freeInt=%d ckpts=%d diverged=%v fstall=%d; %s",
+		c.robCount, len(c.iq), c.lqTail-c.lqHead, c.sqTail-c.sqHead,
+		c.rf.FreeList(isa.IntReg).Len(), c.liveCkpts, c.diverged, c.fetchStallUntil, head)
+}
+
+// robIndexAfter returns the ring index i+1.
+func (c *Core) robNext(i int) int {
+	i++
+	if i == len(c.rob) {
+		return 0
+	}
+	return i
+}
+
+// forEachROB visits valid entries oldest-first.
+func (c *Core) forEachROB(f func(idx int, e *robEntry) bool) {
+	i := c.robHead
+	for n := 0; n < c.robCount; n++ {
+		if !f(i, &c.rob[i]) {
+			return
+		}
+		i = c.robNext(i)
+	}
+}
+
+func (c *Core) windowAt(csn uint64) *winEntry {
+	return &c.window[csn%uint64(len(c.window))]
+}
+
+func (c *Core) epochOf(p regfile.PhysReg) uint32 {
+	return c.releaseEpoch[p.Class()][p.Index()]
+}
+
+// releaseReg returns p to the free list and bumps its epoch so stale
+// window entries can no longer offer it for bypassing.
+func (c *Core) releaseReg(p regfile.PhysReg) {
+	c.releaseEpoch[p.Class()][p.Index()]++
+	c.rf.Release(p)
+}
+
+func (c *Core) sqFind(csn uint64) *sqEntry {
+	for i := c.sqHead; i < c.sqTail; i++ {
+		e := &c.sq[i%uint64(len(c.sq))]
+		if e.valid && e.csn == csn {
+			return e
+		}
+	}
+	return nil
+}
+
+// overlap reports whether two byte ranges intersect.
+func overlap(addrA uint64, widthA uint8, addrB uint64, widthB uint8) bool {
+	endA := addrA + uint64(widthA)/8
+	endB := addrB + uint64(widthB)/8
+	return addrA < endB && addrB < endA
+}
+
+// contains reports whether [addrB,widthB) fully covers [addrA,widthA).
+func contains(addrOuter uint64, widthOuter uint8, addrInner uint64, widthInner uint8) bool {
+	return addrOuter <= addrInner &&
+		addrInner+uint64(widthInner)/8 <= addrOuter+uint64(widthOuter)/8
+}

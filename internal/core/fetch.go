@@ -1,0 +1,126 @@
+package core
+
+import (
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// fetch models the front end of Table 1: up to FetchWidth µops per cycle
+// from at most two 16-byte blocks, continuing over at most one taken
+// branch, with a 1-cycle L1I. Branches are predicted here (TAGE/BTB/RAS);
+// a fetch-time mismatch against the architecturally-correct trace diverges
+// fetch down the predicted (wrong) path through the program's static code,
+// so wrong-path µops really rename and really get squashed later.
+func (c *Core) fetch() {
+	if c.cycle < c.fetchStallUntil {
+		return
+	}
+	if c.fqTail-c.fqHead >= uint64(len(c.fq))-uint64(c.cfg.FetchWidth) {
+		return // front-end queue full
+	}
+
+	fetched := 0
+	blocks := 0
+	takenSeen := false
+	var curBlock uint64
+	haveBlock := false
+
+	for fetched < c.cfg.FetchWidth {
+		var u isa.Uop
+		var streamIdx uint64
+
+		if !c.diverged {
+			u = *c.trace.At(c.fetchPos)
+			streamIdx = c.fetchPos
+		} else {
+			if !program.WrongPathUop(c.prog, c.wrongPC, 1<<63|c.wrongSeq, c.lastAddrByPC[c.wrongPC], &u) {
+				break // fell off static code; wait for recovery
+			}
+			c.wrongSeq++
+			streamIdx = ^uint64(0)
+		}
+
+		// Block accounting: two 16B blocks per cycle, one taken branch.
+		blk := u.PC >> 4
+		if !haveBlock || blk != curBlock {
+			blocks++
+			if blocks > 2 {
+				break
+			}
+			// L1I probe once per new block.
+			if c.lastICachePC != blk {
+				fill := c.mem.FetchInst(u.PC, c.cycle)
+				c.lastICachePC = blk
+				if fill > c.cycle+1 {
+					c.fetchStallUntil = fill
+					break
+				}
+			}
+			curBlock = blk
+			haveBlock = true
+		}
+
+		fe := fqEntry{
+			u:         u,
+			streamIdx: streamIdx,
+			readyAt:   c.cycle + c.cfg.FrontEndDepth,
+		}
+
+		if u.Op == isa.Load {
+			fe.histSnap = *c.bp.History()
+			if c.dist != nil {
+				fe.smbDist, fe.smbConf = c.dist.Predict(u.PC, c.bp.History())
+			}
+		}
+
+		endCycle := false
+		if u.IsBranch() {
+			fe.bpSnap = c.bp.Snapshot()
+			fe.pred = c.bp.Predict(&u)
+			predNext := u.FallThrough
+			if fe.pred.Taken {
+				predNext = fe.pred.Target
+				if takenSeen {
+					// Second taken branch: fetch group ends after it.
+					endCycle = true
+				}
+				takenSeen = true
+			}
+			if !c.diverged {
+				actualNext := u.FallThrough
+				if u.Taken {
+					actualNext = u.Target
+				}
+				fe.resumePos = c.fetchPos + 1
+				if predNext != actualNext {
+					fe.fetchMispred = true
+					c.diverged = true
+					c.wrongPC = predNext
+					c.fetchPos++
+				} else {
+					c.fetchPos++
+				}
+			} else {
+				// Wrong-path branch: follow the prediction.
+				c.wrongPC = predNext
+			}
+		} else {
+			if !c.diverged {
+				if u.IsMemRef() {
+					c.lastAddrByPC[u.PC] = u.MemAddr
+				}
+				c.fetchPos++
+			} else {
+				c.wrongPC = u.FallThrough
+			}
+		}
+
+		c.fq[c.fqTail%uint64(len(c.fq))] = fe
+		c.fqTail++
+		fetched++
+		c.stats.FetchedUops++
+		if endCycle {
+			break
+		}
+	}
+}

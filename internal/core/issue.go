@@ -1,0 +1,222 @@
+package core
+
+import "repro/internal/isa"
+
+// issue is the 6-wide unified scheduler of Table 1. Entries are selected
+// oldest-first once their sources are ready (full bypass network: a
+// dependent of a 1-cycle op issues back-to-back) and a functional unit of
+// the right class is free: 4 ALUs, 1 integer mul/div unit (divide not
+// pipelined), 2 FP adders, 2 FP mul/div units (divide not pipelined), two
+// load/store ports and one store-only port.
+func (c *Core) issue() {
+	issued := 0
+	alu, fp, fpDiv, ldst, st := 0, 0, 0, 0, 0
+	mulDivUsed := false
+
+	keep := c.iq[:0]
+	for qi := 0; qi < len(c.iq); qi++ {
+		idx := c.iq[qi]
+		e := &c.rob[idx]
+		if !e.valid || !e.inIQ {
+			continue // squashed or already gone
+		}
+		if issued >= c.cfg.IssueWidth || e.dispatchAt > c.cycle || !c.srcsReady(e) {
+			keep = append(keep, idx)
+			continue
+		}
+
+		ok := false
+		switch e.u.Op {
+		case isa.ALU, isa.Move, isa.Nop, isa.Branch:
+			if alu < c.cfg.NumALU {
+				alu++
+				ok = true
+				c.execute(idx, e, ExecLatency(&e.u))
+			}
+		case isa.MulDiv:
+			if !mulDivUsed && c.cycle >= c.mulDivBusyUntil {
+				mulDivUsed = true
+				ok = true
+				lat := ExecLatency(&e.u)
+				if e.u.Heavy {
+					c.mulDivBusyUntil = c.cycle + lat // not pipelined
+				}
+				c.execute(idx, e, lat)
+			}
+		case isa.FP:
+			if fp < c.cfg.NumFP {
+				fp++
+				ok = true
+				c.execute(idx, e, ExecLatency(&e.u))
+			}
+		case isa.FPMulDiv:
+			if fpDiv < c.cfg.NumFPMulDiv {
+				if unit := c.freeFPDivUnit(); unit >= 0 {
+					fpDiv++
+					ok = true
+					lat := ExecLatency(&e.u)
+					if e.u.Heavy {
+						c.fpDivBusyUntil[unit] = c.cycle + lat
+					}
+					c.execute(idx, e, lat)
+				}
+			}
+		case isa.Load:
+			if ldst < c.cfg.NumLdStr && c.loadReadyToIssue(e) {
+				ldst++
+				ok = true
+				c.issueLoad(idx, e)
+			}
+		case isa.Store:
+			if (ldst < c.cfg.NumLdStr || st < c.cfg.NumStr) && c.storeReadyToIssue(e) {
+				if ldst < c.cfg.NumLdStr {
+					ldst++
+				} else {
+					st++
+				}
+				ok = true
+				c.execute(idx, e, 1)
+			}
+		}
+
+		if ok {
+			e.inIQ = false
+			issued++
+			if c.tracer != nil {
+				c.tracer.Issued(c.cycle, e.csn)
+			}
+		} else {
+			keep = append(keep, idx)
+		}
+	}
+	c.iq = keep
+}
+
+// srcsReady reports whether every register source (including the SMB
+// validation source) holds its final value.
+func (c *Core) srcsReady(e *robEntry) bool {
+	for _, p := range e.srcPhys {
+		if p.Valid() && !c.rf.Ready(p) {
+			return false
+		}
+	}
+	if e.bypassed && !c.rf.Ready(e.bypassPhys) {
+		return false
+	}
+	return true
+}
+
+// loadReadyToIssue enforces the Store Sets dependence. Bypassed loads
+// also respect it for their VALIDATION access — the dependents read the
+// shared register and never wait, which is how SMB removes the cost of
+// false dependencies (§3.1) without turning store-queue forwards into
+// extra cache traffic.
+func (c *Core) loadReadyToIssue(e *robEntry) bool {
+	if !e.hasMemDep {
+		return true
+	}
+	s := c.sqFind(e.memDepCSN)
+	if s == nil || s.executed {
+		return true
+	}
+	e.depDelayed = true
+	return false
+}
+
+// storeReadyToIssue enforces same-set store ordering.
+func (c *Core) storeReadyToIssue(e *robEntry) bool {
+	if !e.hasMemDep {
+		return true
+	}
+	s := c.sqFind(e.memDepCSN)
+	return s == nil || s.executed
+}
+
+func (c *Core) freeFPDivUnit() int {
+	for i, busy := range c.fpDivBusyUntil {
+		if c.cycle >= busy {
+			return i
+		}
+	}
+	return -1
+}
+
+// execute schedules completion of a non-load µop.
+func (c *Core) execute(idx int, e *robEntry, latency uint64) {
+	e.issued = true
+	e.readyAt = c.cycle + latency
+	_ = idx
+}
+
+// issueLoad performs the load's memory access: store-queue search with
+// containment-based forwarding (4-cycle STLF), partial-overlap stalls
+// until the store's writeback, or a cache access.
+func (c *Core) issueLoad(idx int, e *robEntry) {
+	e.issued = true
+	l := &c.lq[uint64(e.lqIdx)%uint64(len(c.lq))]
+	l.issued = true
+
+	// False-dependence accounting: the load was given a Store Sets
+	// dependence on a store that does not actually overlap it — an
+	// enforced-but-unnecessary serialization (Fig. 4). A bypassed load's
+	// dependents read the shared register and never wait, so the event
+	// is not counted for it — the reduction Figure 6b reports.
+	if e.hasMemDep && !e.bypassed {
+		if s := c.sqFind(e.memDepCSN); s != nil && s.executed {
+			if !overlap(s.addr, s.width, l.addr, l.width) {
+				c.stats.FalseDeps++
+			}
+		}
+	}
+
+	// Youngest older overlapping store with a known address. A store
+	// whose execution completes within a cycle also counts: its address
+	// CAM result is on the wire when the load's access starts, exactly
+	// the same-cycle boundary real disambiguation hardware resolves in
+	// the store's favour.
+	var best *sqEntry
+	var bestData uint64
+	for i := c.sqHead; i < c.sqTail; i++ {
+		s := &c.sq[i%uint64(len(c.sq))]
+		if !s.valid || s.csn >= e.csn {
+			continue
+		}
+		dataAt := s.dataAt
+		if !s.executed {
+			re := &c.rob[s.robIdx]
+			if !(re.valid && re.csn == s.csn && re.issued && re.readyAt <= c.cycle+1) {
+				continue
+			}
+			dataAt = re.readyAt
+		}
+		if overlap(s.addr, s.width, l.addr, l.width) {
+			if best == nil || s.csn > best.csn {
+				best = s
+				bestData = dataAt
+			}
+		}
+	}
+
+	switch {
+	case best != nil && contains(best.addr, best.width, l.addr, l.width):
+		// Store-to-load forwarding.
+		start := c.cycle
+		if bestData > start {
+			start = bestData
+		}
+		e.readyAt = start + c.cfg.STLFLatency
+		l.forwardedCSN = best.csn + 1
+		l.doneAt = e.readyAt
+		c.stats.STLFForwards++
+	case best != nil:
+		// Partial overlap: wait for the store to write back (Table 1).
+		e.readyAt = pendingCompletion
+		l.waitWBStore = best.csn
+		l.doneAt = pendingCompletion
+		c.stats.PartialWaits++
+	default:
+		e.readyAt = c.mem.ReadData(e.u.PC, l.addr, c.cycle)
+		l.doneAt = e.readyAt
+		c.stats.LoadsToMemory++
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+// Stats aggregates everything the paper's figures report. Counters are for
+// the measured region only (Run resets them after warmup).
+type Stats struct {
+	Cycles    uint64
+	Committed uint64
+
+	CommittedLoads        uint64
+	CommittedStores       uint64
+	CommittedBranches     uint64
+	CommittedCondBranches uint64
+	CommittedMoves        uint64
+	CommittedEliminated   uint64 // ME-eliminated µops that retired
+	CommittedBypassed     uint64 // SMB-bypassed loads that retired
+	BypassedFromCommitted uint64 // of those, producer already committed
+
+	BranchMispredicts uint64
+	MemTraps          uint64 // memory-order violations causing a flush (Fig. 4)
+	FalseDeps         uint64 // enforced Store Sets deps with no real conflict (Fig. 4)
+	TrapsAvoidedSMB   uint64
+	BypassMispredicts uint64 // SMB validation failures causing a flush
+	BypassAborted     uint64 // bypasses aborted by the tracking structure
+
+	SquashedUops uint64
+	RenamedUops  uint64
+	FetchedUops  uint64
+
+	STLFForwards  uint64
+	PartialWaits  uint64
+	LoadsToMemory uint64
+
+	// ISRB traffic accounting (§6.3).
+	ShareAttempts           uint64
+	shareDistSum            uint64
+	lastShareCSN            uint64
+	haveLastShare           bool
+	ReclaimChecks           uint64
+	ReclaimSkippedByFlag    uint64
+	reclaimDistSum          uint64
+	lastReclaimCSN          uint64
+	haveLastReclaim         bool
+	ReclaimChecksBackToBack uint64
+
+	// Flush recovery accounting.
+	RecoveryCycles uint64
+
+	// Rename stall accounting (first blocking reason, once per cycle).
+	StallFrontEnd uint64
+	StallROB      uint64
+	StallIQ       uint64
+	StallLQ       uint64
+	StallSQ       uint64
+	StallFreeList uint64
+	StallCkpt     uint64
+}
+
+// reset clears the measured-region counters (called after warmup).
+func (s *Stats) reset() { *s = Stats{} }
+
+// IPC returns committed µops per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// ElimRate returns the fraction of committed µops removed by ME (Fig. 5b).
+func (s *Stats) ElimRate() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return float64(s.CommittedEliminated) / float64(s.Committed)
+}
+
+// BypassRate returns the fraction of retired loads that were bypassed
+// (§6.2/6.3 report 32.3%-35.7% averages).
+func (s *Stats) BypassRate() float64 {
+	if s.CommittedLoads == 0 {
+		return 0
+	}
+	return float64(s.CommittedBypassed) / float64(s.CommittedLoads)
+}
+
+// ShareDistance returns the mean distance in µops between consecutive
+// ISRB allocation attempts (§6.3: 19.7 average on the paper's suite).
+func (s *Stats) ShareDistance() float64 {
+	if s.ShareAttempts <= 1 {
+		return 0
+	}
+	return float64(s.shareDistSum) / float64(s.ShareAttempts-1)
+}
+
+// ReclaimCheckDistance returns the mean distance in committed µops between
+// commits that must CAM the tracking structure (§6.3: 3.4 average).
+func (s *Stats) ReclaimCheckDistance() float64 {
+	if s.ReclaimChecks <= 1 {
+		return 0
+	}
+	return float64(s.reclaimDistSum) / float64(s.ReclaimChecks-1)
+}
+
+// ReclaimBackToBackRate returns the fraction of CAM-needing commits
+// immediately followed by another one (§6.3: up to 53%, 32% average).
+func (s *Stats) ReclaimBackToBackRate() float64 {
+	if s.ReclaimChecks == 0 {
+		return 0
+	}
+	return float64(s.ReclaimChecksBackToBack) / float64(s.ReclaimChecks)
+}
+
+func (s *Stats) noteShareAttempt(csn uint64) {
+	if s.haveLastShare && csn > s.lastShareCSN {
+		s.shareDistSum += csn - s.lastShareCSN
+	}
+	s.lastShareCSN = csn
+	s.haveLastShare = true
+	s.ShareAttempts++
+}
+
+func (s *Stats) noteReclaimCheck(commitCSN uint64) {
+	if s.haveLastReclaim && commitCSN > s.lastReclaimCSN {
+		d := commitCSN - s.lastReclaimCSN
+		s.reclaimDistSum += d
+		if d == 1 {
+			s.ReclaimChecksBackToBack++
+		}
+	}
+	s.lastReclaimCSN = commitCSN
+	s.haveLastReclaim = true
+	s.ReclaimChecks++
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// Tracer receives per-µop pipeline lifecycle events. Attach one with
+// Core.AttachTracer to debug workloads or the pipeline itself; the
+// TextTracer implementation prints a gem5-O3-pipeview-style line per
+// event.
+type Tracer interface {
+	// Renamed fires when a µop enters the ROB. eliminated/bypassed report
+	// the rename-time optimizations applied to it.
+	Renamed(cycle uint64, u *isa.Uop, csn uint64, eliminated, bypassed bool)
+	// Issued fires when the scheduler selects the µop.
+	Issued(cycle uint64, csn uint64)
+	// Completed fires at writeback.
+	Completed(cycle uint64, csn uint64)
+	// Committed fires at retirement.
+	Committed(cycle uint64, csn uint64)
+	// Squashed fires when the µop is discarded by a recovery.
+	Squashed(cycle uint64, csn uint64)
+	// Flush fires on commit-level flushes (memory traps, bypass
+	// validation failures) and branch recoveries.
+	Flush(cycle uint64, kind string, squashed int)
+}
+
+// AttachTracer installs t (nil detaches). Tracing is for debugging; it
+// does not affect timing.
+func (c *Core) AttachTracer(t Tracer) { c.tracer = t }
+
+// TextTracer writes one line per event.
+type TextTracer struct {
+	W io.Writer
+	// OnlyWrongPath limits µop events to wrong-path work (useful when
+	// studying recovery).
+	OnlyWrongPath bool
+}
+
+// Renamed implements Tracer.
+func (t *TextTracer) Renamed(cycle uint64, u *isa.Uop, csn uint64, eliminated, bypassed bool) {
+	if t.OnlyWrongPath && !u.WrongPath {
+		return
+	}
+	tag := ""
+	if eliminated {
+		tag = " [eliminated]"
+	}
+	if bypassed {
+		tag = " [bypassed]"
+	}
+	wp := ""
+	if u.WrongPath {
+		wp = " [wrong-path]"
+	}
+	fmt.Fprintf(t.W, "%8d rename  #%-8d %v%s%s\n", cycle, csn, u, tag, wp)
+}
+
+// Issued implements Tracer.
+func (t *TextTracer) Issued(cycle uint64, csn uint64) {
+	fmt.Fprintf(t.W, "%8d issue   #%d\n", cycle, csn)
+}
+
+// Completed implements Tracer.
+func (t *TextTracer) Completed(cycle uint64, csn uint64) {
+	fmt.Fprintf(t.W, "%8d complete #%d\n", cycle, csn)
+}
+
+// Committed implements Tracer.
+func (t *TextTracer) Committed(cycle uint64, csn uint64) {
+	fmt.Fprintf(t.W, "%8d commit  #%d\n", cycle, csn)
+}
+
+// Squashed implements Tracer.
+func (t *TextTracer) Squashed(cycle uint64, csn uint64) {
+	fmt.Fprintf(t.W, "%8d squash  #%d\n", cycle, csn)
+}
+
+// Flush implements Tracer.
+func (t *TextTracer) Flush(cycle uint64, kind string, squashed int) {
+	fmt.Fprintf(t.W, "%8d FLUSH   %s (%d squashed)\n", cycle, kind, squashed)
+}
+
+var _ Tracer = (*TextTracer)(nil)

@@ -1,0 +1,151 @@
+// Package dram models the single-channel DDR3-1600 (11-11-11) main memory
+// of Table 1: 2 ranks of 8 banks, 8KB row buffers, open-page policy,
+// periodic refresh (tREFI = 7.8µs), and a 64B data bus.
+//
+// Timing is expressed in CPU cycles at the paper's 4GHz clock. With 11-11-11
+// timings at 800MHz (13.75ns each), tCAS = tRCD = tRP = 55 CPU cycles and a
+// 64B burst occupies the bus for 20 cycles. These constants reproduce the
+// paper's stated read latency band exactly: a row-buffer hit on an idle bank
+// completes in 55+20 = 75 cycles (the paper's minimum) and a row conflict
+// costs 55·3+20 = 185 cycles (the paper's maximum).
+package dram
+
+// Config sizes the memory model. All latencies are CPU cycles.
+type Config struct {
+	Ranks        int
+	BanksPerRank int
+	RowBytes     uint64
+	TCAS         uint64 // column access
+	TRCD         uint64 // activate
+	TRP          uint64 // precharge
+	TBurst       uint64 // 64B transfer on the 64-bit bus
+	TREFI        uint64 // refresh interval
+	TRFC         uint64 // refresh duration
+}
+
+// DefaultConfig mirrors Table 1 at 4GHz.
+func DefaultConfig() Config {
+	return Config{
+		Ranks:        2,
+		BanksPerRank: 8,
+		RowBytes:     8 * 1024,
+		TCAS:         55,
+		TRCD:         55,
+		TRP:          55,
+		TBurst:       20,
+		TREFI:        31200, // 7.8µs at 4GHz
+		TRFC:         440,   // ~110ns
+	}
+}
+
+type bank struct {
+	rowOpen bool
+	row     uint64
+	readyAt uint64
+}
+
+// Memory is the DDR3 channel model. It is deliberately time-ordered but
+// tolerant: accesses may arrive with non-monotone timestamps (the simulator
+// resolves loads at issue), and each access simply queues behind the bank
+// and channel busy times.
+type Memory struct {
+	cfg       Config
+	banks     []bank
+	channelAt uint64 // bus free time
+
+	// Stats
+	Reads     uint64
+	Writes    uint64
+	RowHits   uint64
+	RowMisses uint64
+	RowConfl  uint64
+}
+
+// New builds a Memory from cfg.
+func New(cfg Config) *Memory {
+	return &Memory{
+		cfg:   cfg,
+		banks: make([]bank, cfg.Ranks*cfg.BanksPerRank),
+	}
+}
+
+// bankOf maps a physical block address to (bank index, row id).
+func (m *Memory) bankOf(addr uint64) (int, uint64) {
+	nb := uint64(len(m.banks))
+	row := addr / m.cfg.RowBytes
+	b := int(row % nb) // row-interleaved banks spread streams across banks
+	return b, row / nb
+}
+
+// refreshDelay pushes start out of any refresh window it falls into.
+func (m *Memory) refreshDelay(start uint64) uint64 {
+	if m.cfg.TREFI == 0 {
+		return start
+	}
+	phase := start % m.cfg.TREFI
+	if phase < m.cfg.TRFC {
+		return start + (m.cfg.TRFC - phase)
+	}
+	return start
+}
+
+// Read performs a 64B read beginning no earlier than now and returns the
+// cycle at which the data is available to the requester.
+func (m *Memory) Read(addr uint64, now uint64) uint64 {
+	m.Reads++
+	return m.access(addr, now)
+}
+
+// Write performs a 64B writeback. The returned cycle is when the bank is
+// again available; callers typically ignore it (write completion is not on
+// the load critical path).
+func (m *Memory) Write(addr uint64, now uint64) uint64 {
+	m.Writes++
+	return m.access(addr, now)
+}
+
+func (m *Memory) access(addr uint64, now uint64) uint64 {
+	bi, row := m.bankOf(addr)
+	b := &m.banks[bi]
+
+	start := now
+	if b.readyAt > start {
+		start = b.readyAt
+	}
+	start = m.refreshDelay(start)
+
+	var lat uint64
+	switch {
+	case b.rowOpen && b.row == row:
+		m.RowHits++
+		lat = m.cfg.TCAS
+	case !b.rowOpen:
+		m.RowMisses++
+		lat = m.cfg.TRCD + m.cfg.TCAS
+	default:
+		m.RowConfl++
+		lat = m.cfg.TRP + m.cfg.TRCD + m.cfg.TCAS
+	}
+
+	// Serialize bursts on the shared data bus.
+	dataStart := start + lat
+	if m.channelAt > dataStart {
+		dataStart = m.channelAt
+	}
+	done := dataStart + m.cfg.TBurst
+	m.channelAt = done
+
+	b.rowOpen = true
+	b.row = row
+	b.readyAt = start + lat // bank busy until CAS completes
+
+	return done
+}
+
+// MinReadLatency returns the unloaded row-hit latency (75 in Table 1).
+func (m *Memory) MinReadLatency() uint64 { return m.cfg.TCAS + m.cfg.TBurst }
+
+// MaxReadLatency returns the unloaded row-conflict latency (185 in Table 1).
+func (m *Memory) MaxReadLatency() uint64 {
+	return m.cfg.TRP + m.cfg.TRCD + m.cfg.TCAS + m.cfg.TBurst
+}

@@ -1,0 +1,199 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5-§6). Each Fig*/Table* function runs the required
+// simulations (in parallel, with a shared result cache) and returns the
+// same rows/series the paper reports, as formatted text tables plus
+// machine-readable series for the test suite's shape checks.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/moveelim"
+	"repro/internal/refcount"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// RunLengths sets simulation length. The paper uses 50M warmup + 100M
+// measured instructions of SimPoint slices; the synthetic workloads reach
+// steady state orders of magnitude sooner.
+type RunLengths struct {
+	Warmup  uint64
+	Measure uint64
+}
+
+// DefaultRunLengths is used by cmd/paperfigs.
+var DefaultRunLengths = RunLengths{Warmup: 30_000, Measure: 150_000}
+
+// QuickRunLengths is used by unit tests.
+var QuickRunLengths = RunLengths{Warmup: 10_000, Measure: 50_000}
+
+// Result captures one simulation's outcome.
+type Result struct {
+	Bench   string
+	IPC     float64
+	S       core.Stats
+	Tracker refcount.Stats
+	ME      moveelim.Eliminator
+}
+
+// Session runs simulations with caching and parallelism.
+type Session struct {
+	RL RunLengths
+
+	mu    sync.Mutex
+	cache map[string]*Result
+}
+
+// NewSession creates a session with the given run lengths.
+func NewSession(rl RunLengths) *Session {
+	return &Session{RL: rl, cache: make(map[string]*Result)}
+}
+
+// run simulates bench under cfg; key must uniquely identify cfg.
+func (s *Session) run(bench, key string, cfg core.Config) *Result {
+	ck := bench + "|" + key
+	s.mu.Lock()
+	if r, ok := s.cache[ck]; ok {
+		s.mu.Unlock()
+		return r
+	}
+	s.mu.Unlock()
+
+	spec, err := workloads.ByName(bench)
+	if err != nil {
+		panic(err)
+	}
+	prog := workloads.Build(spec)
+	c := core.New(cfg, prog)
+	st := c.Run(s.RL.Warmup, s.RL.Measure)
+	r := &Result{
+		Bench:   bench,
+		IPC:     st.IPC(),
+		S:       *st,
+		Tracker: *c.Tracker().Stats(),
+		ME:      *c.MoveElim(),
+	}
+	s.mu.Lock()
+	s.cache[ck] = r
+	s.mu.Unlock()
+	return r
+}
+
+// runAll simulates every benchmark under cfgFor in parallel, preserving
+// catalog order.
+func (s *Session) runAll(key string, cfgFor func(bench string) core.Config) []*Result {
+	names := workloads.Names()
+	results := make([]*Result, len(names))
+	sem := make(chan struct{}, max(1, runtime.NumCPU()))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = s.run(name, key, cfgFor(name))
+		}(i, name)
+	}
+	wg.Wait()
+	return results
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Baseline returns per-benchmark baseline results (Figure 4's machine).
+func (s *Session) Baseline() []*Result {
+	return s.runAll("baseline", func(string) core.Config { return core.DefaultConfig() })
+}
+
+// --- configuration builders -------------------------------------------
+
+func withTracker(cfg core.Config, entries int) core.Config {
+	if entries <= 0 {
+		cfg.Tracker = core.TrackerConfig{Kind: core.TrackerUnlimited}
+	} else {
+		cfg.Tracker = core.TrackerConfig{Kind: core.TrackerISRB, Entries: entries, CounterBits: 3}
+	}
+	return cfg
+}
+
+func meConfig(entries int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.ME.Enabled = true
+	return withTracker(cfg, entries)
+}
+
+func smbConfig(entries int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.SMB.Enabled = true
+	return withTracker(cfg, entries)
+}
+
+func combinedConfig(entries int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.ME.Enabled = true
+	cfg.SMB.Enabled = true
+	return withTracker(cfg, entries)
+}
+
+func entryLabel(entries int) string {
+	if entries <= 0 {
+		return "unlimited"
+	}
+	return fmt.Sprintf("%d", entries)
+}
+
+// Series is one named speedup curve over the benchmark list.
+type Series struct {
+	Name    string
+	Per     map[string]float64
+	GMean   float64
+	MaxName string
+	Max     float64
+}
+
+func makeSeries(name string, base, opt []*Result) Series {
+	s := Series{Name: name, Per: make(map[string]float64, len(base))}
+	var sp []float64
+	for i := range base {
+		v := stats.Speedup(opt[i].IPC, base[i].IPC)
+		s.Per[base[i].Bench] = v
+		sp = append(sp, v)
+		if v > s.Max {
+			s.Max = v
+			s.MaxName = base[i].Bench
+		}
+	}
+	s.GMean = stats.GeoMean(sp)
+	return s
+}
+
+func seriesTable(title string, base []*Result, series []Series) *stats.Table {
+	cols := []string{"benchmark"}
+	for _, s := range series {
+		cols = append(cols, s.Name)
+	}
+	t := stats.NewTable(title, cols...)
+	for _, r := range base {
+		row := []string{r.Bench}
+		for _, s := range series {
+			row = append(row, stats.Pct(s.Per[r.Bench]))
+		}
+		t.AddRow(row...)
+	}
+	gm := []string{"gmean"}
+	for _, s := range series {
+		gm = append(gm, stats.Pct(s.GMean))
+	}
+	t.AddRow(gm...)
+	return t
+}

@@ -1,0 +1,322 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/refcount"
+)
+
+// The experiment tests verify the REPRODUCTION SHAPES at reduced run
+// lengths — who wins, where the curves saturate — not absolute numbers.
+
+func quickSession(t *testing.T) *Session {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiment sweeps skipped in -short mode")
+	}
+	return NewSession(QuickRunLengths)
+}
+
+func TestTable1Renders(t *testing.T) {
+	s := Table1().String()
+	for _, want := range []string{"192-entry ROB", "TAGE", "Store Sets", "DDR3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestStorageTableMatchesPaperArithmetic(t *testing.T) {
+	// Spot checks of the §4.2/§4.3.3 numbers through the table's inputs.
+	if bits := refcount.MatrixScheme(192, 168, 2); bits != 64512 {
+		t.Fatalf("Roth matrix = %d bits, want 2x192x168 = 64512 (≈7.8KB)", bits)
+	}
+	if kb := refcount.KB(refcount.MatrixScheme(192, 168, 2)); kb < 7.7 || kb > 7.9 {
+		t.Fatalf("Roth matrix = %.2fKB, want ≈7.8KB", kb)
+	}
+	if kb := refcount.KB(refcount.SchedulerMatrix(60)); kb < 0.42 || kb > 0.46 {
+		t.Fatalf("scheduler matrix = %.2fKB, want ≈0.44KB", kb)
+	}
+	cpu, ck := refcount.ISRBStorage(32, 3)
+	if cpu != 480 || ck != 96 {
+		t.Fatalf("ISRB(32,3) = %d/%d bits, want 480/96", cpu, ck)
+	}
+	if refcount.CountersCheckpointBits(336, 2) < 600 {
+		t.Fatal("per-register counter checkpoint must exceed 600 bits (§4.2)")
+	}
+	s := StorageTable().String()
+	if !strings.Contains(s, "480 bits") || !strings.Contains(s, "96 bits") {
+		t.Fatalf("storage table missing ISRB numbers:\n%s", s)
+	}
+}
+
+// TestFig5aShape: ME speedups saturate with ISRB size and the gmean is
+// small but positive (§6.1: "speedups are generally limited, 1% gmean").
+func TestFig5aShape(t *testing.T) {
+	s := quickSession(t)
+	_, series := s.Fig5a()
+	byName := map[string]Series{}
+	for _, sr := range series {
+		byName[sr.Name] = sr
+	}
+	unl := byName["ME-unlimited"]
+	if unl.GMean < 1.001 || unl.GMean > 1.06 {
+		t.Fatalf("ME unlimited gmean %.4f outside the small-positive band", unl.GMean)
+	}
+	// 16 entries capture most of the unlimited potential (§6.1).
+	if byName["ME-16"].GMean < unl.GMean-0.01 {
+		t.Fatalf("16-entry ISRB gmean %.4f far below unlimited %.4f", byName["ME-16"].GMean, unl.GMean)
+	}
+	// crafty is the top integer gainer.
+	if unl.Per["crafty"] < 1.02 {
+		t.Fatalf("crafty ME speedup %.4f, want the suite's top-tier gain", unl.Per["crafty"])
+	}
+}
+
+// TestFig5bShape: elimination rate does not imply gain (§6.1's vortex
+// vs namd contrast).
+func TestFig5bShape(t *testing.T) {
+	s := quickSession(t)
+	_, rates := s.Fig5b()
+	_, series := s.Fig5a()
+	var unl Series
+	for _, sr := range series {
+		if sr.Name == "ME-unlimited" {
+			unl = sr
+		}
+	}
+	if rates["vortex"] < 0.04 {
+		t.Fatalf("vortex elimination rate %.3f, want the suite's high end", rates["vortex"])
+	}
+	if rates["crafty"] <= rates["namd"] {
+		t.Fatalf("crafty rate %.3f should exceed namd rate %.3f", rates["crafty"], rates["namd"])
+	}
+	// vortex: high rate, modest gain — gain per eliminated µop must be
+	// far below crafty's.
+	vortexYield := (unl.Per["vortex"] - 1) / rates["vortex"]
+	craftyYield := (unl.Per["crafty"] - 1) / rates["crafty"]
+	if vortexYield >= craftyYield {
+		t.Fatalf("vortex gain-per-elimination (%.3f) >= crafty's (%.3f): the §6.1 decorrelation is lost",
+			vortexYield, craftyYield)
+	}
+}
+
+// TestFig6aShape: SMB needs more ISRB entries than ME; TAGE beats the
+// NoSQ-style predictor overall; key benchmarks gain substantially.
+func TestFig6aShape(t *testing.T) {
+	s := quickSession(t)
+	_, series := s.Fig6a()
+	byName := map[string]Series{}
+	for _, sr := range series {
+		byName[sr.Name] = sr
+	}
+	unl, nosq := byName["SMB-unlimited"], byName["SMB-NoSQ-unl"]
+	if unl.GMean <= 1.005 {
+		t.Fatalf("SMB gmean %.4f: no overall gain", unl.GMean)
+	}
+	if nosq.GMean >= unl.GMean {
+		t.Fatalf("NoSQ-style predictor gmean %.4f >= TAGE %.4f (§3.1's comparison inverted)",
+			nosq.GMean, unl.GMean)
+	}
+	// 24 entries capture nearly the full potential (§6.2).
+	if byName["SMB-24"].GMean < unl.GMean-0.02 {
+		t.Fatalf("24-entry gmean %.4f too far below unlimited %.4f", byName["SMB-24"].GMean, unl.GMean)
+	}
+	// 8 entries lose part of it.
+	if byName["SMB-8"].GMean > byName["SMB-24"].GMean+1e-9 {
+		t.Fatalf("8-entry gmean above 24-entry gmean")
+	}
+	for _, b := range []string{"hmmer", "wupwise", "gamess"} {
+		if unl.Per[b] < 1.05 {
+			t.Errorf("%s SMB speedup %.4f, want a headline gain", b, unl.Per[b])
+		}
+	}
+}
+
+// TestFig6bShape: SMB reduces traps and false dependencies (with zero
+// warmup so the one-time training events are visible).
+func TestFig6bShape(t *testing.T) {
+	s := NewSession(RunLengths{Warmup: 0, Measure: 60_000})
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	base := s.Baseline()
+	opt := s.runAll("smb-unlimited", func(string) core.Config { return smbConfig(0) })
+	var baseTraps, optTraps, baseFD, optFD uint64
+	for i := range base {
+		baseTraps += base[i].S.MemTraps
+		optTraps += opt[i].S.MemTraps
+		baseFD += base[i].S.FalseDeps
+		optFD += opt[i].S.FalseDeps
+	}
+	if baseTraps == 0 || baseFD == 0 {
+		t.Fatalf("baseline shows no traps (%d) or false deps (%d)", baseTraps, baseFD)
+	}
+	if optFD >= baseFD {
+		t.Fatalf("SMB did not reduce false dependencies: %d -> %d", baseFD, optFD)
+	}
+	if optTraps > baseTraps {
+		t.Fatalf("SMB increased memory traps: %d -> %d", baseTraps, optTraps)
+	}
+}
+
+// TestFig6cShape: lazy reclaim is marginal overall and hurts with a
+// 24-entry ISRB (committed bypasses steal entries, §3.3/§6.2).
+func TestFig6cShape(t *testing.T) {
+	s := quickSession(t)
+	_, series := s.Fig6c()
+	byName := map[string]Series{}
+	for _, sr := range series {
+		byName[sr.Name] = sr
+	}
+	eU, lU := byName["eager-unlimited"].GMean, byName["lazy-unlimited"].GMean
+	if lU < eU-0.02 {
+		t.Fatalf("lazy reclaim (unlimited ISRB) lost %.4f vs eager %.4f; should be ~marginal", lU, eU)
+	}
+	e24, l24 := byName["eager-24"].GMean, byName["lazy-24"].GMean
+	if l24 > e24+0.02 {
+		t.Fatalf("lazy reclaim with a 24-entry ISRB unexpectedly helps a lot: %.4f vs %.4f", l24, e24)
+	}
+}
+
+// TestFig7Shape: combined ME+SMB; 32 entries ≈ unlimited; 24 a good
+// trade-off; the paper's gmean band.
+func TestFig7Shape(t *testing.T) {
+	s := quickSession(t)
+	_, series := s.Fig7()
+	byName := map[string]Series{}
+	for _, sr := range series {
+		byName[sr.Name] = sr
+	}
+	unl := byName["ME+SMB-unlimited"].GMean
+	if unl < 1.01 {
+		t.Fatalf("combined gmean %.4f: too small", unl)
+	}
+	if byName["ME+SMB-32"].GMean < unl-0.015 {
+		t.Fatalf("32-entry combined gmean %.4f far below unlimited %.4f",
+			byName["ME+SMB-32"].GMean, unl)
+	}
+	if byName["ME+SMB-16"].GMean > byName["ME+SMB-24"].GMean+0.01 {
+		t.Fatal("16 entries outperform 24: pressure ordering inverted")
+	}
+}
+
+// TestStoreOnlyShape: §6.2 — disabling load-load bypassing notably hurts
+// the named benchmarks.
+func TestStoreOnlyShape(t *testing.T) {
+	s := quickSession(t)
+	_, series := s.StoreOnly()
+	full, so := series[0], series[1]
+	if so.GMean > full.GMean+1e-9 {
+		t.Fatalf("store-only gmean %.4f above full %.4f", so.GMean, full.GMean)
+	}
+	drops := 0
+	for _, b := range []string{"astar", "wupwise", "applu", "bzip", "hmmer"} {
+		if full.Per[b]-so.Per[b] > 0.01 {
+			drops++
+		}
+	}
+	if drops < 3 {
+		t.Fatalf("only %d of the load-load-sensitive benchmarks dropped under store-only", drops)
+	}
+}
+
+// TestCounterWidthShape: §6.3 — 3-bit counters land near the unlimited
+// 32-bit result; 1-bit counters lose more.
+func TestCounterWidthShape(t *testing.T) {
+	s := quickSession(t)
+	_, gmeans := s.CounterWidth()
+	if gmeans[3] < gmeans[0]-0.02 {
+		t.Fatalf("3-bit counters gmean %.4f too far below unlimited %.4f", gmeans[3], gmeans[0])
+	}
+	if gmeans[1] > gmeans[3]+1e-9 {
+		t.Fatalf("1-bit counters (%.4f) beat 3-bit (%.4f)", gmeans[1], gmeans[3])
+	}
+}
+
+// TestDDTSizingShape: the 1K-entry DDT stays close to unlimited overall.
+func TestDDTSizingShape(t *testing.T) {
+	s := quickSession(t)
+	_, series := s.DDTSizing()
+	unl, small := series[0], series[2]
+	if small.GMean < unl.GMean-0.03 {
+		t.Fatalf("1K DDT gmean %.4f too far below unlimited %.4f (§3.1: within ~2.2%%)",
+			small.GMean, unl.GMean)
+	}
+}
+
+// TestISRBTrafficTable renders and contains the average row.
+func TestISRBTrafficTable(t *testing.T) {
+	s := quickSession(t)
+	out := s.ISRBTraffic().String()
+	if !strings.Contains(out, "average") {
+		t.Fatalf("traffic table missing average row:\n%s", out)
+	}
+}
+
+func TestBaselineShape(t *testing.T) {
+	s := NewSession(RunLengths{Warmup: 0, Measure: 60_000})
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if err := s.BaselineShape(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExtensionROB512Lazy: §6.2's note — committed-instruction bypassing
+// stays marginal even with a 512-entry ROB.
+func TestExtensionROB512Lazy(t *testing.T) {
+	s := quickSession(t)
+	_, gmeans := s.ROB512Lazy()
+	if gmeans["rob512-lazy"] < gmeans["rob512-eager"]-0.03 {
+		t.Fatalf("lazy reclaim at ROB 512 lost a lot: %.4f vs %.4f",
+			gmeans["rob512-lazy"], gmeans["rob512-eager"])
+	}
+	if gmeans["rob512-lazy"] > gmeans["rob512-eager"]+0.05 {
+		t.Fatalf("lazy reclaim at ROB 512 helps a lot (%.4f vs %.4f); the paper found it marginal",
+			gmeans["rob512-lazy"], gmeans["rob512-eager"])
+	}
+}
+
+// TestExtensionSingleBitME: §6.3 footnote 10 — ME-only works with 1-bit
+// counters.
+func TestExtensionSingleBitME(t *testing.T) {
+	s := quickSession(t)
+	_, gmeans := s.SingleBitME()
+	if gmeans[1] < gmeans[3]-0.01 {
+		t.Fatalf("single-bit ME gmean %.4f far below 3-bit %.4f", gmeans[1], gmeans[3])
+	}
+}
+
+// TestExtensionDistanceHistory: history helps the distance predictor
+// (pc-only must not beat the paper's geometry).
+func TestExtensionDistanceHistory(t *testing.T) {
+	s := quickSession(t)
+	_, gmeans := s.DistanceHistorySweep()
+	if gmeans["pc-only"] > gmeans["paper-2..64"]+0.01 {
+		t.Fatalf("PC-only distance predictor (%.4f) beats the history-indexed one (%.4f)",
+			gmeans["pc-only"], gmeans["paper-2..64"])
+	}
+}
+
+// TestExtensionTrackerComparison: §4.2 quantified — the MIT (no SMB) must
+// trail the ISRB; sequential-rollback counters must trail too; the RDA
+// and unlimited match the ISRB closely.
+func TestExtensionTrackerComparison(t *testing.T) {
+	s := quickSession(t)
+	_, gmeans := s.TrackerComparison()
+	isrb := gmeans["ISRB-32x3b"]
+	if gmeans["MIT-16"] >= isrb-0.005 {
+		t.Fatalf("MIT gmean %.4f not clearly below ISRB %.4f despite losing SMB", gmeans["MIT-16"], isrb)
+	}
+	if gmeans["counters"] > gmeans["unlimited"]+1e-9 {
+		t.Fatalf("sequential-rollback counters (%.4f) beat the checkpointable ideal (%.4f)",
+			gmeans["counters"], gmeans["unlimited"])
+	}
+	if gmeans["RDA-32"] < isrb-0.02 {
+		t.Fatalf("RDA gmean %.4f far below ISRB %.4f; they share mechanics", gmeans["RDA-32"], isrb)
+	}
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// This file implements the paper's side experiments and stated
+// extensions: the ROB-512 lazy-reclaim check (§6.2: bypassing from
+// committed instructions stays marginal "even when the size of the ROB is
+// increased to 512"), the single-bit-counter ME design point (§6.3
+// footnote 10), and a distance-predictor history-length ablation (the
+// paper leaves TAGE tuning as future work; this probes the design space).
+
+// ROB512Lazy compares eager vs lazy reclaim at ROB sizes 192 and 512 with
+// an unlimited ISRB.
+func (s *Session) ROB512Lazy() (*stats.Table, map[string]float64) {
+	base := s.Baseline()
+	gmeans := map[string]float64{}
+	var series []Series
+	for _, rob := range []int{192, 512} {
+		for _, lazy := range []bool{false, true} {
+			rob, lazy := rob, lazy
+			name := fmt.Sprintf("rob%d-", rob)
+			if lazy {
+				name += "lazy"
+			} else {
+				name += "eager"
+			}
+			opt := s.runAll("ext-"+name, func(string) core.Config {
+				cfg := smbConfig(0)
+				cfg.ROBSize = rob
+				cfg.SMB.BypassCommitted = lazy
+				return cfg
+			})
+			sr := makeSeries(name, base, opt)
+			series = append(series, sr)
+			gmeans[name] = sr.GMean
+		}
+	}
+	return seriesTable("Extension: lazy reclaim at ROB 192 vs 512 (§6.2)", base, series), gmeans
+}
+
+// SingleBitME evaluates ME-only with 1-bit ISRB counters (§6.3 footnote:
+// "ME actually performs well on all benchmarks but one when single-bit
+// counters are used").
+func (s *Session) SingleBitME() (*stats.Table, map[int]float64) {
+	base := s.Baseline()
+	gmeans := map[int]float64{}
+	var series []Series
+	for _, bits := range []int{1, 3} {
+		bits := bits
+		opt := s.runAll(fmt.Sprintf("ext-me16-w%d", bits), func(string) core.Config {
+			cfg := core.DefaultConfig()
+			cfg.ME.Enabled = true
+			cfg.Tracker = core.TrackerConfig{Kind: core.TrackerISRB, Entries: 16, CounterBits: bits}
+			return cfg
+		})
+		sr := makeSeries(fmt.Sprintf("ME-16x%db", bits), base, opt)
+		series = append(series, sr)
+		gmeans[bits] = sr.GMean
+	}
+	return seriesTable("Extension: single-bit counters for ME-only (§6.3 fn.10)", base, series), gmeans
+}
+
+// DistanceHistorySweep probes the Instruction Distance Predictor's
+// history-length geometry: no history (PC only), the paper's 2..64-bit
+// geometric series, and a doubled series.
+func (s *Session) DistanceHistorySweep() (*stats.Table, map[string]float64) {
+	base := s.Baseline()
+	geoms := []struct {
+		name string
+		hist []int
+	}{
+		{"pc-only", []int{}},
+		{"paper-2..64", []int{2, 5, 11, 27, 64}},
+		{"long-4..128", []int{4, 10, 22, 54, 128}},
+	}
+	gmeans := map[string]float64{}
+	var series []Series
+	for _, g := range geoms {
+		g := g
+		opt := s.runAll("ext-dist-"+g.name, func(string) core.Config {
+			cfg := smbConfig(0)
+			cfg.SMB.Predictor = core.DistanceTAGE
+			cfg.SMB.TAGEGeometry = g.hist
+			return cfg
+		})
+		sr := makeSeries(g.name, base, opt)
+		series = append(series, sr)
+		gmeans[g.name] = sr.GMean
+	}
+	return seriesTable("Extension: distance predictor history geometry", base, series), gmeans
+}
+
+// TrackerComparison makes §4.2's qualitative scheme comparison
+// quantitative: the same ME+SMB machine over every reference counting
+// scheme. The MIT loses SMB entirely (architectural-name tracking); the
+// per-register counters lose recovery cycles to sequential rollback; the
+// RDA matches the ISRB's performance but pays commit-side checkpoint
+// update traffic.
+func (s *Session) TrackerComparison() (*stats.Table, map[string]float64) {
+	base := s.Baseline()
+	schemes := []struct {
+		name string
+		kind core.TrackerKind
+		n    int
+		bits int
+	}{
+		{"ISRB-32x3b", core.TrackerISRB, 32, 3},
+		{"MIT-16", core.TrackerMIT, 16, 4},
+		{"RDA-32", core.TrackerRDA, 32, 4},
+		{"counters", core.TrackerCounters, 0, 8},
+		{"unlimited", core.TrackerUnlimited, 0, 8},
+	}
+	gmeans := map[string]float64{}
+	var series []Series
+	for _, sc := range schemes {
+		sc := sc
+		opt := s.runAll("ext-tracker-"+sc.name, func(string) core.Config {
+			cfg := combinedConfig(0)
+			cfg.Tracker = core.TrackerConfig{Kind: sc.kind, Entries: sc.n, CounterBits: sc.bits}
+			return cfg
+		})
+		sr := makeSeries(sc.name, base, opt)
+		series = append(series, sr)
+		gmeans[sc.name] = sr.GMean
+	}
+	return seriesTable("Extension: ME+SMB across reference counting schemes (§4.2)", base, series), gmeans
+}

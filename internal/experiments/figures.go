@@ -1,0 +1,321 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/refcount"
+	"repro/internal/smb"
+	"repro/internal/stats"
+)
+
+// Table1 prints the machine configuration (the paper's Table 1).
+func Table1() *stats.Table {
+	cfg := core.DefaultConfig()
+	t := stats.NewTable("Table 1: simulator configuration", "parameter", "value")
+	add := func(k, v string) { t.AddRow(k, v) }
+	add("front end", fmt.Sprintf("%d-wide fetch/decode/rename, %d-cycle front end", cfg.FetchWidth, cfg.FrontEndDepth))
+	add("branch predictor", fmt.Sprintf("TAGE 1+%d components, %d entries; %d-entry 2-way BTB; %d-entry RAS",
+		len(cfg.Branch.TAGE.Tagged), tageEntries(), cfg.Branch.BTBEntries, cfg.Branch.RASEntries))
+	add("execution", fmt.Sprintf("%d-entry ROB, %d-entry IQ, %d/%d LQ/SQ, %d+%d INT/FP regs, %d-issue, %d-wide retire",
+		cfg.ROBSize, cfg.IQSize, cfg.LQSize, cfg.SQSize, cfg.PhysRegsPerClass, cfg.PhysRegsPerClass,
+		cfg.IssueWidth, cfg.CommitWidth))
+	add("FUs", fmt.Sprintf("%dxALU(1c) %dxMulDiv(3c/25c*) %dxFP(3c) %dxFPMulDiv(5c/10c*) %dxLd/St %dxSt",
+		cfg.NumALU, cfg.NumMulDiv, cfg.NumFP, cfg.NumFPMulDiv, cfg.NumLdStr, cfg.NumStr))
+	add("memory dependence", fmt.Sprintf("Store Sets %d-SSIT/%d-LFST, not rolled back on squash",
+		cfg.StoreSets.SSITEntries, cfg.StoreSets.LFSTEntries))
+	add("STLF latency", fmt.Sprintf("%d cycles", cfg.STLFLatency))
+	add("L1I", fmt.Sprintf("%dKB %d-way, %dc", cfg.Mem.L1I.SizeKB, cfg.Mem.L1I.Ways, cfg.Mem.L1I.Latency))
+	add("L1D", fmt.Sprintf("%dKB %d-way, %dc, %d MSHRs", cfg.Mem.L1D.SizeKB, cfg.Mem.L1D.Ways, cfg.Mem.L1D.Latency, cfg.Mem.L1D.MSHRs))
+	add("L2", fmt.Sprintf("%dKB %d-way, %dc, stride prefetcher degree %d", cfg.Mem.L2.SizeKB, cfg.Mem.L2.Ways, cfg.Mem.L2.Latency, cfg.Mem.PrefDegree))
+	add("DRAM", "single channel DDR3-1600 (11-11-11), min 75 / max 185 cycles")
+	add("distance predictor", "TAGE-like 1+5 components (§3.1) or NoSQ-like 2x4K")
+	return t
+}
+
+func tageEntries() int {
+	cfg := core.DefaultConfig()
+	n := 1 << cfg.Branch.TAGE.LogBaseEntries
+	for _, t := range cfg.Branch.TAGE.Tagged {
+		n += 1 << t.LogEntries
+	}
+	return n
+}
+
+// Fig4 reports baseline IPC, memory traps and false memory dependencies
+// per benchmark (the paper's Figure 4; traps and false deps are on a log
+// scale there, so we report raw counts scaled per 100M µops).
+func (s *Session) Fig4() *stats.Table {
+	base := s.Baseline()
+	t := stats.NewTable("Figure 4: baseline IPC, memory traps, false dependencies",
+		"benchmark", "IPC", "traps/100M", "falsedeps/100M", "brMPKI")
+	scale := 100e6 / float64(s.RL.Measure)
+	for _, r := range base {
+		t.AddRowF(r.Bench, r.IPC,
+			uint64(float64(r.S.MemTraps)*scale),
+			uint64(float64(r.S.FalseDeps)*scale),
+			1000*float64(r.S.BranchMispredicts)/float64(r.S.Committed))
+	}
+	return t
+}
+
+// Fig5aSizes are the ISRB sizes Figure 5a sweeps (0 = unlimited).
+var Fig5aSizes = []int{8, 16, 32, 0}
+
+// Fig5a: speedup of Move Elimination over the baseline for several ISRB
+// sizes.
+func (s *Session) Fig5a() (*stats.Table, []Series) {
+	base := s.Baseline()
+	var series []Series
+	for _, n := range Fig5aSizes {
+		opt := s.runAll("me-"+entryLabel(n), func(string) core.Config { return meConfig(n) })
+		series = append(series, makeSeries("ME-"+entryLabel(n), base, opt))
+	}
+	return seriesTable("Figure 5a: ME speedup vs ISRB size", base, series), series
+}
+
+// Fig5b: percentage of renamed instructions eliminated (unlimited ISRB).
+func (s *Session) Fig5b() (*stats.Table, map[string]float64) {
+	opt := s.runAll("me-unlimited", func(string) core.Config { return meConfig(0) })
+	t := stats.NewTable("Figure 5b: % of committed µops eliminated (unlimited ISRB)",
+		"benchmark", "% eliminated", "candidates", "eliminated")
+	rates := make(map[string]float64)
+	for _, r := range opt {
+		rate := r.S.ElimRate()
+		rates[r.Bench] = rate
+		t.AddRowF(r.Bench, fmt.Sprintf("%.2f%%", 100*rate), r.ME.Candidates, r.ME.Eliminated)
+	}
+	return t, rates
+}
+
+// Fig6aSizes are the ISRB sizes Figure 6a sweeps.
+var Fig6aSizes = []int{8, 16, 24, 32, 0}
+
+// Fig6a: SMB speedup vs ISRB size, plus the NoSQ-style predictor curve.
+func (s *Session) Fig6a() (*stats.Table, []Series) {
+	base := s.Baseline()
+	var series []Series
+	for _, n := range Fig6aSizes {
+		opt := s.runAll("smb-"+entryLabel(n), func(string) core.Config { return smbConfig(n) })
+		series = append(series, makeSeries("SMB-"+entryLabel(n), base, opt))
+	}
+	nosq := s.runAll("smb-nosq", func(string) core.Config {
+		cfg := smbConfig(0)
+		cfg.SMB.Predictor = core.DistanceNoSQ
+		return cfg
+	})
+	series = append(series, makeSeries("SMB-NoSQ-unl", base, nosq))
+	return seriesTable("Figure 6a: SMB speedup vs ISRB size (TAGE distance pred; last column NoSQ-style)", base, series), series
+}
+
+// Fig6b: reduction of memory traps and false dependencies under SMB
+// (unlimited ISRB, TAGE distance predictor), for benchmarks where those
+// events occur reasonably often in the baseline.
+func (s *Session) Fig6b() *stats.Table {
+	base := s.Baseline()
+	opt := s.runAll("smb-unlimited", func(string) core.Config { return smbConfig(0) })
+	scale := 100e6 / float64(s.RL.Measure)
+	// The paper's cutoffs: >=1K traps and >=10K false deps per 100M.
+	minTraps := uint64(1000 / scale)
+	minFD := uint64(10000 / scale)
+	if minTraps == 0 {
+		minTraps = 1
+	}
+	if minFD == 0 {
+		minFD = 1
+	}
+	t := stats.NewTable("Figure 6b: SMB speedup vs trap/false-dep reduction (unlimited ISRB)",
+		"benchmark", "speedup", "traps base", "traps SMB", "fdeps base", "fdeps SMB", "loads bypassed")
+	for i, r := range base {
+		if r.S.MemTraps < minTraps && r.S.FalseDeps < minFD {
+			continue
+		}
+		t.AddRowF(r.Bench, stats.Pct(stats.Speedup(opt[i].IPC, r.IPC)),
+			r.S.MemTraps, opt[i].S.MemTraps,
+			r.S.FalseDeps, opt[i].S.FalseDeps,
+			fmt.Sprintf("%.1f%%", 100*opt[i].S.BypassRate()))
+	}
+	return t
+}
+
+// Fig6c: eager vs lazy reclaim (bypassing from committed instructions),
+// with an unlimited and a 24-entry ISRB.
+func (s *Session) Fig6c() (*stats.Table, []Series) {
+	base := s.Baseline()
+	var series []Series
+	for _, n := range []int{0, 24} {
+		eager := s.runAll("smb-"+entryLabel(n), func(string) core.Config { return smbConfig(n) })
+		lazyCfg := func(string) core.Config {
+			cfg := smbConfig(n)
+			cfg.SMB.BypassCommitted = true
+			return cfg
+		}
+		lazy := s.runAll("smb-lazy-"+entryLabel(n), lazyCfg)
+		series = append(series,
+			makeSeries("eager-"+entryLabel(n), base, eager),
+			makeSeries("lazy-"+entryLabel(n), base, lazy))
+	}
+	return seriesTable("Figure 6c: eager vs lazy reclaim (bypass from committed)", base, series), series
+}
+
+// Fig7Sizes are the ISRB sizes Figure 7 sweeps.
+var Fig7Sizes = []int{16, 24, 32, 0}
+
+// Fig7: combined ME+SMB speedup vs ISRB size.
+func (s *Session) Fig7() (*stats.Table, []Series) {
+	base := s.Baseline()
+	var series []Series
+	for _, n := range Fig7Sizes {
+		opt := s.runAll("comb-"+entryLabel(n), func(string) core.Config { return combinedConfig(n) })
+		series = append(series, makeSeries("ME+SMB-"+entryLabel(n), base, opt))
+	}
+	return seriesTable("Figure 7: combined ME+SMB speedup vs ISRB size", base, series), series
+}
+
+// DDTSizing compares the unlimited DDT with the paper's 1K-entry 5b-tag
+// table (§3.1's "within 2.2% except hmmer" claim).
+func (s *Session) DDTSizing() (*stats.Table, []Series) {
+	base := s.Baseline()
+	unl := s.runAll("smb-unlimited", func(string) core.Config { return smbConfig(0) })
+	small := s.runAll("smb-ddt1k", func(string) core.Config {
+		cfg := smbConfig(0)
+		cfg.SMB.DDT = smb.DDTConfig{Entries: 1024, TagBits: 5}
+		return cfg
+	})
+	large := s.runAll("smb-ddt16k", func(string) core.Config {
+		cfg := smbConfig(0)
+		cfg.SMB.DDT = smb.DDTConfig{Entries: 16384, TagBits: 14}
+		return cfg
+	})
+	series := []Series{
+		makeSeries("DDT-unl", base, unl),
+		makeSeries("DDT-16K", base, large),
+		makeSeries("DDT-1K", base, small),
+	}
+	return seriesTable("DDT sizing (§3.1): SMB speedup by DDT capacity", base, series), series
+}
+
+// StoreOnly compares full SMB with store→load-only bypassing (§6.2).
+func (s *Session) StoreOnly() (*stats.Table, []Series) {
+	base := s.Baseline()
+	full := s.runAll("smb-unlimited", func(string) core.Config { return smbConfig(0) })
+	so := s.runAll("smb-storeonly", func(string) core.Config {
+		cfg := smbConfig(0)
+		cfg.SMB.LoadLoad = false
+		return cfg
+	})
+	series := []Series{
+		makeSeries("SMB-full", base, full),
+		makeSeries("SMB-store-only", base, so),
+	}
+	return seriesTable("Store-only SMB (§6.2): load-load bypassing disabled", base, series), series
+}
+
+// CounterWidth sweeps the ISRB counter width for the combined
+// configuration (§6.3: 3 bits within 1.3% worst-case of 32-bit fields).
+func (s *Session) CounterWidth() (*stats.Table, map[int]float64) {
+	base := s.Baseline()
+	widths := []int{1, 2, 3, 8}
+	gmeans := make(map[int]float64)
+	var series []Series
+	for _, w := range widths {
+		opt := s.runAll(fmt.Sprintf("comb-32-w%d", w), func(string) core.Config {
+			cfg := core.DefaultConfig()
+			cfg.ME.Enabled = true
+			cfg.SMB.Enabled = true
+			cfg.Tracker = core.TrackerConfig{Kind: core.TrackerISRB, Entries: 32, CounterBits: w}
+			return cfg
+		})
+		sr := makeSeries(fmt.Sprintf("%d-bit", w), base, opt)
+		series = append(series, sr)
+		gmeans[w] = sr.GMean
+	}
+	unl := s.runAll("comb-unlimited", func(string) core.Config { return combinedConfig(0) })
+	sr := makeSeries("unlimited-32b", base, unl)
+	series = append(series, sr)
+	gmeans[0] = sr.GMean
+	return seriesTable("Counter width (§6.3): ME+SMB, 32-entry ISRB", base, series), gmeans
+}
+
+// ISRBTraffic reports the §6.3 port-pressure statistics for the combined
+// configuration with a 32-entry ISRB.
+func (s *Session) ISRBTraffic() *stats.Table {
+	opt := s.runAll("comb-32-w3", func(string) core.Config {
+		cfg := core.DefaultConfig()
+		cfg.ME.Enabled = true
+		cfg.SMB.Enabled = true
+		cfg.Tracker = core.TrackerConfig{Kind: core.TrackerISRB, Entries: 32, CounterBits: 3}
+		return cfg
+	})
+	t := stats.NewTable("ISRB traffic (§6.3): allocation/reclaim distances",
+		"benchmark", "alloc dist", "reclaim dist", "reclaim b2b", "CAM skipped by flag")
+	var ad, rd, b2b []float64
+	for _, r := range opt {
+		t.AddRowF(r.Bench,
+			r.S.ShareDistance(), r.S.ReclaimCheckDistance(),
+			fmt.Sprintf("%.1f%%", 100*r.S.ReclaimBackToBackRate()),
+			r.S.ReclaimSkippedByFlag)
+		if r.S.ShareAttempts > 1 {
+			ad = append(ad, r.S.ShareDistance())
+		}
+		if r.S.ReclaimChecks > 1 {
+			rd = append(rd, r.S.ReclaimCheckDistance())
+			b2b = append(b2b, r.S.ReclaimBackToBackRate())
+		}
+	}
+	t.AddRow("average",
+		fmt.Sprintf("%.1f (min %.1f)", stats.Mean(ad), stats.Min(ad)),
+		fmt.Sprintf("%.1f (min %.1f)", stats.Mean(rd), stats.Min(rd)),
+		fmt.Sprintf("%.1f%% (max %.1f%%)", 100*stats.Mean(b2b), 100*stats.Max(b2b)), "")
+	return t
+}
+
+// StorageTable reproduces the storage arithmetic of §4.2/§4.3.3/§3.1.
+func StorageTable() *stats.Table {
+	t := stats.NewTable("Storage accounting (§3.1, §4.2, §4.3.3)",
+		"structure", "CPU storage", "per checkpoint")
+	kb := func(bits int) string { return fmt.Sprintf("%.2fKB (%d bits)", refcount.KB(bits), bits) }
+	bits := func(b int) string { return fmt.Sprintf("%d bits", b) }
+
+	m := refcount.MatrixScheme(192, 168, 2)
+	t.AddRow("Roth 2D matrix (Haswell: 192 ROB x 2x168 regs)", kb(m), "entire matrix")
+	t.AddRow("baseline matrix scheduler (60x60)", kb(refcount.SchedulerMatrix(60)), "-")
+	bm, bc := refcount.BattleMatrix(336, 4)
+	t.AddRow("Battle et al. matrix (336 regs x 4 sharers)", kb(bm), bits(bc))
+	for _, n := range []int{8, 16, 32} {
+		cpu, ck := refcount.ISRBStorage(n, 3)
+		t.AddRow(fmt.Sprintf("ISRB %d entries, 3-bit counters", n), bits(cpu), bits(ck))
+	}
+	t.AddRow("x86_64 rename map checkpoint", "-", bits(refcount.RenameMapCheckpointBits()))
+	t.AddRow("per-register counters (336 regs, 2b)", bits(refcount.CountersCheckpointBits(336, 2)), "not checkpointable")
+	t.AddRow("TAGE-like distance predictor", kb(distStorageTAGE()), "-")
+	t.AddRow("NoSQ-style distance predictor", kb(distStorageNoSQ()), "-")
+	t.AddRow("DDT 16K entries, 14b tags", kb(refcount.DDTStorage(16384, 14, 64)), "-")
+	t.AddRow("DDT 1K entries, 5b tags", kb(refcount.DDTStorage(1024, 5, 64)), "-")
+	return t
+}
+
+func distStorageTAGE() int { return smb.NewTAGEDistance().Storage() }
+func distStorageNoSQ() int { return smb.NewNoSQDistance().Storage() }
+
+// BaselineShape sanity-checks Figure 4's preconditions: IPC diversity and
+// the presence of trap/false-dep benchmarks.
+func (s *Session) BaselineShape() error {
+	base := s.Baseline()
+	var withTraps, withFD int
+	for _, r := range base {
+		if r.S.MemTraps > 0 {
+			withTraps++
+		}
+		if r.S.FalseDeps > 0 {
+			withFD++
+		}
+	}
+	if withTraps < 4 {
+		return fmt.Errorf("only %d benchmarks show memory traps", withTraps)
+	}
+	if withFD < 4 {
+		return fmt.Errorf("only %d benchmarks show false dependencies", withFD)
+	}
+	return nil
+}

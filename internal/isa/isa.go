@@ -1,0 +1,245 @@
+// Package isa defines the micro-operation (µop) model the simulator
+// executes.
+//
+// The model is x86_64-flavoured without being a full x86 decoder: what
+// matters to the paper's mechanisms is the register-name structure of the
+// dynamic instruction stream, not instruction encodings. We therefore model
+//
+//   - 16 integer and 16 FP/SIMD architectural registers (as x86_64 exposes),
+//   - destructive two-operand ALU forms, which is what makes reg-reg moves
+//     so frequent in x86 code and motivates Move Elimination,
+//   - move widths (8/16/32/64 bits), because the x86_64 zero-extension rule
+//     makes only 32- and 64-bit reg-reg moves eliminable (paper §2.1),
+//   - loads and stores carrying virtual addresses and true data values so
+//     that Speculative Memory Bypassing can be validated honestly.
+package isa
+
+import "fmt"
+
+// RegClass distinguishes the integer and FP/SIMD register files, which are
+// renamed separately (256 physical registers each in the paper's core).
+type RegClass uint8
+
+const (
+	// IntReg is the integer register class (rax..r15).
+	IntReg RegClass = iota
+	// FPReg is the FP/SIMD register class (xmm0..xmm15).
+	FPReg
+)
+
+func (c RegClass) String() string {
+	switch c {
+	case IntReg:
+		return "int"
+	case FPReg:
+		return "fp"
+	default:
+		return fmt.Sprintf("RegClass(%d)", uint8(c))
+	}
+}
+
+// NumArchRegs is the number of architectural registers per class (x86_64:
+// 16 GPRs and 16 SIMD registers).
+const NumArchRegs = 16
+
+// Reg names an architectural register: class plus index in [0,NumArchRegs).
+// The zero value is integer register 0 (rax).
+type Reg struct {
+	Class RegClass
+	Index uint8
+}
+
+// NoReg is a sentinel for "no register operand".
+var NoReg = Reg{Class: IntReg, Index: 0xFF}
+
+// Valid reports whether r names a real architectural register.
+func (r Reg) Valid() bool { return r.Index < NumArchRegs }
+
+func (r Reg) String() string {
+	if !r.Valid() {
+		return "-"
+	}
+	if r.Class == FPReg {
+		return fmt.Sprintf("xmm%d", r.Index)
+	}
+	return fmt.Sprintf("r%d", r.Index)
+}
+
+// IntR and FPR are convenience constructors for register names.
+func IntR(i int) Reg { return Reg{Class: IntReg, Index: uint8(i)} }
+
+// FPR returns the i-th FP/SIMD architectural register.
+func FPR(i int) Reg { return Reg{Class: FPReg, Index: uint8(i)} }
+
+// Op is the µop operation class. Classes map one-to-one onto the paper's
+// functional-unit pool (Table 1).
+type Op uint8
+
+const (
+	// Nop does nothing (used for padding and eliminated µops).
+	Nop Op = iota
+	// ALU is a 1-cycle integer operation.
+	ALU
+	// MulDiv is an integer multiply (3 cycles) or divide (25 cycles,
+	// not pipelined). The Heavy flag selects divide timing.
+	MulDiv
+	// FP is a 3-cycle pipelined FP operation.
+	FP
+	// FPMulDiv is an FP multiply (5 cycles) or divide (10 cycles, not
+	// pipelined, Heavy flag).
+	FPMulDiv
+	// Load reads MemSize bytes from MemAddr into DestReg.
+	Load
+	// Store writes the value of SrcRegs[0] (the data register) to
+	// MemAddr; SrcRegs[1], if valid, is the address base register.
+	Store
+	// Branch is a conditional or unconditional control transfer.
+	Branch
+	// Move is a register-to-register move, the Move Elimination
+	// candidate class. Width determines eliminability.
+	Move
+)
+
+var opNames = [...]string{"nop", "alu", "muldiv", "fp", "fpmuldiv", "load", "store", "branch", "move"}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// BranchKind refines Branch µops for the front-end predictor structures.
+type BranchKind uint8
+
+const (
+	// BrNone marks a non-branch µop.
+	BrNone BranchKind = iota
+	// BrCond is a conditional direct branch (predicted by TAGE).
+	BrCond
+	// BrUncond is an unconditional direct jump (BTB only).
+	BrUncond
+	// BrCall is a direct call (pushes the RAS).
+	BrCall
+	// BrRet is a return (pops the RAS).
+	BrRet
+)
+
+func (k BranchKind) String() string {
+	switch k {
+	case BrNone:
+		return "none"
+	case BrCond:
+		return "cond"
+	case BrUncond:
+		return "uncond"
+	case BrCall:
+		return "call"
+	case BrRet:
+		return "ret"
+	default:
+		return fmt.Sprintf("BranchKind(%d)", uint8(k))
+	}
+}
+
+// MaxSrcRegs is the maximum number of register sources a µop can carry.
+// Stores use two (data + address); the scheduler additionally tracks the
+// memory-dependence and bypass-validation sources separately (paper §3.2
+// notes Bulldozer supports four sources per scheduler entry).
+const MaxSrcRegs = 3
+
+// Uop is one dynamic micro-operation flowing through the pipeline. Static
+// fields are filled by the workload's functional front-end; the timing core
+// treats the value fields as ground truth for validating speculation.
+type Uop struct {
+	// PC is the static instruction address. Distinct static instructions
+	// have distinct PCs; the branch and distance predictors index on it.
+	PC uint64
+	// Seq is the dynamic sequence number (assigned at fetch, monotone).
+	Seq uint64
+
+	Op    Op
+	Kind  BranchKind
+	Heavy bool // divide-class timing for MulDiv/FPMulDiv
+
+	// Src holds up to MaxSrcRegs source registers; unused slots are NoReg.
+	Src [MaxSrcRegs]Reg
+	// Dest is the destination register, or NoReg for stores/branches/nops.
+	Dest Reg
+
+	// Width is the operand width in bits (8, 16, 32, 64). For Move µops
+	// it determines Move Elimination eligibility (§2.1). For memory µops
+	// it is the access size in bits.
+	Width uint8
+
+	// MemAddr is the virtual address accessed by Load/Store µops.
+	MemAddr uint64
+
+	// Value is the architecturally-correct result of the µop (the loaded
+	// value for loads, the stored value for stores, the move source value
+	// for moves). Used to validate SMB and to keep PRF contents honest.
+	Value uint64
+
+	// Taken and Target give the architecturally-correct branch outcome.
+	Taken  bool
+	Target uint64
+
+	// FallThrough is the next sequential PC (used on not-taken and for
+	// misprediction re-steer).
+	FallThrough uint64
+
+	// WrongPath marks µops fetched past a mispredicted branch. They flow
+	// through rename and may allocate registers and ISRB entries, but
+	// their results are never committed.
+	WrongPath bool
+}
+
+// NumSrcs returns how many valid register sources the µop has.
+func (u *Uop) NumSrcs() int {
+	n := 0
+	for _, s := range u.Src {
+		if s.Valid() {
+			n++
+		}
+	}
+	return n
+}
+
+// IsBranch reports whether the µop is any kind of branch.
+func (u *Uop) IsBranch() bool { return u.Op == Branch }
+
+// HasDest reports whether the µop writes an architectural register.
+func (u *Uop) HasDest() bool { return u.Dest.Valid() }
+
+// IsMemRef reports whether the µop accesses memory.
+func (u *Uop) IsMemRef() bool { return u.Op == Load || u.Op == Store }
+
+// EliminableMove reports whether the µop is a reg-reg move that Move
+// Elimination may collapse under the paper's x86_64 rules (§2.1): only 32-
+// and 64-bit moves are eliminable, because those zero the upper bits of the
+// destination, while 8- and 16-bit moves merge into the destination and
+// remain true merge µops. Moves must also stay within one register class.
+func (u *Uop) EliminableMove() bool {
+	if u.Op != Move {
+		return false
+	}
+	if u.Width != 32 && u.Width != 64 {
+		return false
+	}
+	return u.Src[0].Valid() && u.Dest.Valid() && u.Src[0].Class == u.Dest.Class
+}
+
+func (u *Uop) String() string {
+	switch u.Op {
+	case Load:
+		return fmt.Sprintf("%#x: load%d %v <- [%#x]", u.PC, u.Width, u.Dest, u.MemAddr)
+	case Store:
+		return fmt.Sprintf("%#x: store%d [%#x] <- %v", u.PC, u.Width, u.MemAddr, u.Src[0])
+	case Branch:
+		return fmt.Sprintf("%#x: br(%v) taken=%v -> %#x", u.PC, u.Kind, u.Taken, u.Target)
+	case Move:
+		return fmt.Sprintf("%#x: mov%d %v <- %v", u.PC, u.Width, u.Dest, u.Src[0])
+	default:
+		return fmt.Sprintf("%#x: %v %v <- %v,%v", u.PC, u.Op, u.Dest, u.Src[0], u.Src[1])
+	}
+}

@@ -1,0 +1,107 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegHelpers(t *testing.T) {
+	r := IntR(5)
+	if !r.Valid() || r.Class != IntReg || r.Index != 5 {
+		t.Fatalf("IntR(5) = %+v", r)
+	}
+	f := FPR(3)
+	if !f.Valid() || f.Class != FPReg || f.Index != 3 {
+		t.Fatalf("FPR(3) = %+v", f)
+	}
+	if NoReg.Valid() {
+		t.Fatal("NoReg must be invalid")
+	}
+	if IntR(2) == FPR(2) {
+		t.Fatal("int and fp registers with the same index must differ")
+	}
+}
+
+func TestRegString(t *testing.T) {
+	if got := IntR(4).String(); got != "r4" {
+		t.Fatalf("IntR(4).String() = %q", got)
+	}
+	if got := FPR(7).String(); got != "xmm7" {
+		t.Fatalf("FPR(7).String() = %q", got)
+	}
+	if got := NoReg.String(); got != "-" {
+		t.Fatalf("NoReg.String() = %q", got)
+	}
+}
+
+// TestEliminableMoveRules encodes §2.1's x86_64 rules: only 32- and 64-bit
+// same-class reg-reg moves may be eliminated; 8- and 16-bit moves are
+// merge µops.
+func TestEliminableMoveRules(t *testing.T) {
+	mk := func(width uint8, src, dst Reg) *Uop {
+		return &Uop{Op: Move, Width: width, Src: [MaxSrcRegs]Reg{src, NoReg, NoReg}, Dest: dst}
+	}
+	cases := []struct {
+		name string
+		u    *Uop
+		want bool
+	}{
+		{"mov64 int-int", mk(64, IntR(0), IntR(1)), true},
+		{"mov32 int-int", mk(32, IntR(0), IntR(1)), true},
+		{"mov16 int-int (merge)", mk(16, IntR(0), IntR(1)), false},
+		{"mov8 int-int (merge)", mk(8, IntR(0), IntR(1)), false},
+		{"mov64 fp-fp", mk(64, FPR(0), FPR(1)), true},
+		{"mov64 cross-class", mk(64, IntR(0), FPR(1)), false},
+		{"mov64 no dest", mk(64, IntR(0), NoReg), false},
+		{"mov64 no src", mk(64, NoReg, IntR(1)), false},
+	}
+	for _, c := range cases {
+		if got := c.u.EliminableMove(); got != c.want {
+			t.Errorf("%s: EliminableMove() = %v, want %v", c.name, got, c.want)
+		}
+	}
+	// Non-move ops are never eliminable regardless of shape.
+	alu := &Uop{Op: ALU, Width: 64, Src: [MaxSrcRegs]Reg{IntR(0), NoReg, NoReg}, Dest: IntR(1)}
+	if alu.EliminableMove() {
+		t.Error("ALU op reported eliminable")
+	}
+}
+
+func TestUopHelpers(t *testing.T) {
+	ld := &Uop{Op: Load, Dest: IntR(1), Src: [MaxSrcRegs]Reg{IntR(2), NoReg, NoReg}}
+	if !ld.IsMemRef() || ld.IsBranch() || !ld.HasDest() {
+		t.Fatal("load helper predicates wrong")
+	}
+	if n := ld.NumSrcs(); n != 1 {
+		t.Fatalf("NumSrcs = %d, want 1", n)
+	}
+	br := &Uop{Op: Branch, Kind: BrCond, Dest: NoReg}
+	if !br.IsBranch() || br.HasDest() || br.IsMemRef() {
+		t.Fatal("branch helper predicates wrong")
+	}
+}
+
+func TestUopStringCoversOps(t *testing.T) {
+	us := []*Uop{
+		{Op: Load, Width: 64, Dest: IntR(0), MemAddr: 0x100},
+		{Op: Store, Width: 64, Src: [MaxSrcRegs]Reg{IntR(1), NoReg, NoReg}, MemAddr: 0x100},
+		{Op: Branch, Kind: BrCond, Taken: true, Target: 0x40},
+		{Op: Move, Width: 32, Src: [MaxSrcRegs]Reg{IntR(2), NoReg, NoReg}, Dest: IntR(3)},
+		{Op: ALU, Dest: IntR(4), Src: [MaxSrcRegs]Reg{IntR(5), IntR(6), NoReg}},
+	}
+	for _, u := range us {
+		if s := u.String(); s == "" || !strings.Contains(s, "0x") {
+			t.Errorf("String() for %v produced %q", u.Op, s)
+		}
+	}
+}
+
+func TestValidRejectsOutOfRange(t *testing.T) {
+	if err := quick.Check(func(idx uint8) bool {
+		r := Reg{Class: IntReg, Index: idx}
+		return r.Valid() == (idx < NumArchRegs)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

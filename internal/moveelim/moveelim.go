@@ -1,0 +1,71 @@
+// Package moveelim implements the rename-time Move Elimination policy of
+// §2: which reg-reg moves may have their destination mapped onto their
+// source's physical register, removing them from the execution pipeline.
+//
+// The x86_64 width rules live on the µop itself (isa.Uop.EliminableMove);
+// this package adds the policy the paper evaluates — integer moves only,
+// as in Figure 5 ("we only implement ME for 64- and 32-bit integer
+// register to integer register moves") — plus the accounting used by
+// Figure 5b (percentage of renamed instructions eliminated).
+package moveelim
+
+import "repro/internal/isa"
+
+// Config controls the elimination policy.
+type Config struct {
+	// Enabled turns ME on.
+	Enabled bool
+	// IntOnly restricts elimination to integer moves (the paper's
+	// configuration; recent Intel parts also eliminate FP moves, §6.1).
+	IntOnly bool
+}
+
+// DefaultConfig returns the paper's ME policy.
+func DefaultConfig() Config { return Config{Enabled: true, IntOnly: true} }
+
+// Eliminator applies the ME policy and keeps the statistics Figure 5
+// reports.
+type Eliminator struct {
+	cfg Config
+
+	// Candidates counts renamed µops that satisfied the architectural
+	// elimination rules.
+	Candidates uint64
+	// Eliminated counts moves actually eliminated (candidates for which
+	// the tracking structure accepted the share). The gap between the two
+	// is exactly what Intel's "move elimination candidate uops that were
+	// not eliminated" performance event measures (§2.2).
+	Eliminated uint64
+	// TrackerRejected counts candidates aborted because the reference
+	// tracking structure was full or saturated.
+	TrackerRejected uint64
+	// SelfMoves counts moves whose source and destination architectural
+	// registers are identical (nothing to do; treated as eliminated
+	// without touching the tracker).
+	SelfMoves uint64
+}
+
+// New builds an Eliminator.
+func New(cfg Config) *Eliminator { return &Eliminator{cfg: cfg} }
+
+// Candidate reports whether u is eliminable under the policy. It counts
+// candidates as a side effect, so call it exactly once per renamed µop.
+func (e *Eliminator) Candidate(u *isa.Uop) bool {
+	if !e.cfg.Enabled || !u.EliminableMove() {
+		return false
+	}
+	if e.cfg.IntOnly && u.Dest.Class != isa.IntReg {
+		return false
+	}
+	e.Candidates++
+	return true
+}
+
+// NoteEliminated records a successful elimination.
+func (e *Eliminator) NoteEliminated() { e.Eliminated++ }
+
+// NoteRejected records a tracker-aborted elimination.
+func (e *Eliminator) NoteRejected() { e.TrackerRejected++ }
+
+// NoteSelfMove records a self-move (trivially eliminated).
+func (e *Eliminator) NoteSelfMove() { e.SelfMoves++; e.Eliminated++ }

@@ -1,0 +1,57 @@
+package moveelim
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func mov(width uint8, src, dst isa.Reg) *isa.Uop {
+	return &isa.Uop{Op: isa.Move, Width: width,
+		Src: [isa.MaxSrcRegs]isa.Reg{src, isa.NoReg, isa.NoReg}, Dest: dst}
+}
+
+func TestPolicyIntOnly(t *testing.T) {
+	e := New(Config{Enabled: true, IntOnly: true})
+	if !e.Candidate(mov(64, isa.IntR(0), isa.IntR(1))) {
+		t.Fatal("64-bit int move rejected")
+	}
+	if !e.Candidate(mov(32, isa.IntR(0), isa.IntR(1))) {
+		t.Fatal("32-bit int move rejected")
+	}
+	if e.Candidate(mov(16, isa.IntR(0), isa.IntR(1))) {
+		t.Fatal("16-bit merge move accepted")
+	}
+	if e.Candidate(mov(64, isa.FPR(0), isa.FPR(1))) {
+		t.Fatal("FP move accepted under IntOnly (the paper's Figure 5 policy)")
+	}
+	if e.Candidates != 2 {
+		t.Fatalf("candidates = %d, want 2", e.Candidates)
+	}
+}
+
+func TestPolicyDisabled(t *testing.T) {
+	e := New(Config{Enabled: false})
+	if e.Candidate(mov(64, isa.IntR(0), isa.IntR(1))) {
+		t.Fatal("disabled eliminator accepted a candidate")
+	}
+}
+
+func TestFPAllowedWhenNotIntOnly(t *testing.T) {
+	e := New(Config{Enabled: true, IntOnly: false})
+	if !e.Candidate(mov(64, isa.FPR(0), isa.FPR(1))) {
+		t.Fatal("FP move rejected with IntOnly off (recent Intel parts eliminate FP moves, §6.1)")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	e := New(DefaultConfig())
+	e.Candidate(mov(64, isa.IntR(0), isa.IntR(1)))
+	e.NoteEliminated()
+	e.Candidate(mov(64, isa.IntR(2), isa.IntR(3)))
+	e.NoteRejected()
+	e.NoteSelfMove()
+	if e.Eliminated != 2 || e.TrackerRejected != 1 || e.SelfMoves != 1 {
+		t.Fatalf("counters: elim=%d rej=%d self=%d", e.Eliminated, e.TrackerRejected, e.SelfMoves)
+	}
+}

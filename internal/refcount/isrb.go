@@ -1,0 +1,274 @@
+package refcount
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/regfile"
+)
+
+// ISRB is the Inflight Shared Register Buffer of §4.3: a small
+// fully-associative buffer tracking only the registers that currently have
+// more than one sharer. Each entry holds the physical register identifier
+// (the CAM tag) and two never-decremented up-counters:
+//
+//   - referenced: incremented each time the register is bypassed (ME/SMB)
+//     rather than allocated from the Free List;
+//   - committed: incremented when an instruction that overwrites an
+//     architectural mapping containing the register commits, as long as
+//     committed != referenced.
+//
+// When a commit-side overwrite finds referenced == committed, the register
+// and the entry are freed. Only the referenced fields are checkpointed
+// (n-bit counters × entries: 96 bits for 32 entries × 3 bits), so recovery
+// is a gang copy plus a compare: if the restored referenced is smaller than
+// the architectural committed, the register should already have been freed
+// and is released during recovery.
+//
+// Instead of physically resetting checkpointed fields when an entry is
+// freed (the paper's gang-invalidate rule), each entry carries a
+// generation tag; a checkpointed referenced value is applied only when the
+// generation still matches, which is behaviourally identical and keeps
+// snapshots immutable.
+type ISRB struct {
+	entries []isrbEntry
+	ctrMax  uint8
+	ctrBits int
+	stats   Stats
+}
+
+type isrbEntry struct {
+	valid bool
+	tag   regfile.PhysReg
+	ref   uint8
+	com   uint8
+	// archRef counts references whose creating instruction has
+	// committed. It is architectural state (like com) used only for
+	// commit-level flush recovery; it needs no checkpoint storage.
+	archRef uint8
+	gen     uint32
+}
+
+type isrbSnapSlot struct {
+	gen uint32
+	ref uint8
+}
+
+type isrbSnapshot []isrbSnapSlot
+
+// NewISRB builds an ISRB with the given number of entries and counter
+// width in bits (the paper finds 3 bits sufficient, §6.3).
+func NewISRB(entries, counterBits int) *ISRB {
+	if entries <= 0 {
+		panic("refcount: ISRB needs at least one entry")
+	}
+	if counterBits <= 0 || counterBits > 8 {
+		panic("refcount: ISRB counter width must be in 1..8")
+	}
+	return &ISRB{
+		entries: make([]isrbEntry, entries),
+		ctrMax:  uint8(1)<<counterBits - 1,
+		ctrBits: counterBits,
+	}
+}
+
+// Name implements Tracker.
+func (b *ISRB) Name() string { return fmt.Sprintf("ISRB-%d", len(b.entries)) }
+
+// NumEntries returns the entry count.
+func (b *ISRB) NumEntries() int { return len(b.entries) }
+
+func (b *ISRB) find(p regfile.PhysReg) *isrbEntry {
+	for i := range b.entries {
+		if b.entries[i].valid && b.entries[i].tag == p {
+			return &b.entries[i]
+		}
+	}
+	return nil
+}
+
+// TryShare implements Tracker.
+func (b *ISRB) TryShare(p regfile.PhysReg, kind Kind, dst, src isa.Reg) bool {
+	if e := b.find(p); e != nil {
+		if e.ref >= b.ctrMax {
+			b.stats.ShareFailsSat++
+			return false
+		}
+		e.ref++
+		b.countShare(kind)
+		return true
+	}
+	for i := range b.entries {
+		if !b.entries[i].valid {
+			b.entries[i].valid = true
+			b.entries[i].tag = p
+			b.entries[i].ref = 1
+			b.entries[i].com = 0
+			b.entries[i].archRef = 0
+			b.entries[i].gen++
+			b.stats.EntryAllocs++
+			b.countShare(kind)
+			return true
+		}
+	}
+	b.stats.ShareFailsFull++
+	return false
+}
+
+func (b *ISRB) countShare(kind Kind) {
+	if kind == KindME {
+		b.stats.SharesME++
+	} else {
+		b.stats.SharesSMB++
+	}
+}
+
+// OnCommitOverwrite implements Tracker: the CAM probe the register
+// reclaiming hardware performs (§4.3.2, "Register Reclaiming").
+func (b *ISRB) OnCommitOverwrite(p regfile.PhysReg, arch isa.Reg) bool {
+	b.stats.CommitChecks++
+	e := b.find(p)
+	if e == nil {
+		return true // untracked: free normally
+	}
+	b.stats.CommitHits++
+	if e.ref == e.com {
+		// Last mapping overwritten: free register and entry.
+		e.valid = false
+		b.stats.Frees++
+		return true
+	}
+	e.com++
+	return false
+}
+
+// OnCommitShare implements Tracker: a share created at rename became
+// architectural.
+func (b *ISRB) OnCommitShare(p regfile.PhysReg) {
+	if e := b.find(p); e != nil && e.archRef < e.ref {
+		e.archRef++
+	}
+}
+
+// RestoreToCommit implements Tracker: roll every entry's referenced count
+// back to its architectural value, applying the same freeing rules as
+// checkpoint recovery.
+func (b *ISRB) RestoreToCommit() []regfile.PhysReg {
+	var freed []regfile.PhysReg
+	for i := range b.entries {
+		e := &b.entries[i]
+		if !e.valid {
+			continue
+		}
+		ref := e.archRef
+		switch {
+		case e.com > ref:
+			e.valid = false
+			freed = append(freed, e.tag)
+			b.stats.RecoveryFrees++
+		case ref == 0 && e.com == 0:
+			e.valid = false
+		default:
+			e.ref = ref
+		}
+	}
+	return freed
+}
+
+// IsShared implements Tracker.
+func (b *ISRB) IsShared(p regfile.PhysReg) bool { return b.find(p) != nil }
+
+// Checkpoint implements Tracker: it captures the referenced field (and
+// generation tag) of every entry — n bits × entries of real storage.
+func (b *ISRB) Checkpoint() Snapshot {
+	s := make(isrbSnapshot, len(b.entries))
+	for i := range b.entries {
+		s[i].gen = b.entries[i].gen
+		if b.entries[i].valid {
+			s[i].ref = b.entries[i].ref
+		}
+	}
+	return s
+}
+
+// Restore implements Tracker, applying the recovery rules of §4.3.1/§4.3.2:
+// restore referenced from the checkpoint; if the architectural committed
+// counter exceeds it, the register missed its freeing opportunity during
+// speculation and is released now; if both counters are zero the entry is
+// freed (the register is covered by the Free List head restore or by a
+// pre-checkpoint commit).
+func (b *ISRB) Restore(s Snapshot) []regfile.PhysReg {
+	snap, ok := s.(isrbSnapshot)
+	if !ok || len(snap) != len(b.entries) {
+		panic("refcount: foreign snapshot passed to ISRB.Restore")
+	}
+	b.stats.Restores++
+	var freed []regfile.PhysReg
+	for i := range b.entries {
+		e := &b.entries[i]
+		if !e.valid {
+			continue // entry already free: nothing happens
+		}
+		ref := uint8(0)
+		if snap[i].gen == e.gen {
+			ref = snap[i].ref
+		}
+		// else: the entry was (re)allocated on the squashed path; the
+		// checkpointed value is invalid, equivalent to a gang-reset 0.
+		switch {
+		case e.com > ref:
+			// The last overwriting instruction should have freed the
+			// register; release it during recovery.
+			e.valid = false
+			freed = append(freed, e.tag)
+			b.stats.RecoveryFrees++
+		case ref == 0 && e.com == 0:
+			// Wrong-path-only sharing: drop the entry; the register is
+			// recovered by the Free List pointer restore or freed by a
+			// pre-checkpoint commit.
+			e.valid = false
+		default:
+			e.ref = ref
+			if e.archRef > e.ref {
+				e.archRef = e.ref
+			}
+		}
+	}
+	return freed
+}
+
+// SquashPenalty implements Tracker: restoring checkpointed fields and
+// comparing narrow values is a single cycle (§4.3.1, "restoring a correct
+// state can be done in a single cycle").
+func (b *ISRB) SquashPenalty(int) uint64 { return 1 }
+
+// Storage implements Tracker: entries × (8-bit physical register tag +
+// valid + 2 n-bit counters) of CPU storage and entries × n bits per
+// checkpoint. For 32 entries and 3-bit counters this is the paper's
+// 480 bits + 96 bits/checkpoint (§4.3.3, §6.3).
+func (b *ISRB) Storage() StorageCost {
+	per := 8 + 1 + 2*b.ctrBits
+	// The paper quotes 480 bits for 32 entries: 8b tag + 2×3b counters +
+	// 1 valid = 15 bits/entry.
+	return StorageCost{
+		CPUBits:        len(b.entries) * per,
+		CheckpointBits: len(b.entries) * b.ctrBits,
+	}
+}
+
+// Stats implements Tracker.
+func (b *ISRB) Stats() *Stats { return &b.stats }
+
+// Occupancy returns the number of valid entries (for tests and traffic
+// statistics).
+func (b *ISRB) Occupancy() int {
+	n := 0
+	for i := range b.entries {
+		if b.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+var _ Tracker = (*ISRB)(nil)

@@ -1,0 +1,249 @@
+package refcount
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/regfile"
+)
+
+func preg(i int) regfile.PhysReg { return regfile.MakePhys(isa.IntReg, i) }
+
+// TestFigure3WorkedExample replays the paper's Figure 3 step by step:
+//
+//	sub1  : rax => p1 (allocation, not tracked)
+//	shl3  : redefines rax
+//	load4 : bypasses to p1 (rbx => p1), referenced=1
+//	sub7  : redefines rbx
+//	jmp8  : checkpoint (referenced snapshot = 1)
+//	load10: bypasses to p1 (rdx => p1), referenced=2
+//	shl3 commits  -> overwrite of rax=>p1: committed=1
+//	sub7 commits  -> overwrite of rbx=>p1: committed=2 (== referenced)
+//	jmp8 mispredicts -> restore checkpoint: referenced=1 < committed=2
+//	                    => p1 freed during recovery.
+func TestFigure3WorkedExample(t *testing.T) {
+	b := NewISRB(8, 3)
+	p1 := preg(1)
+	rax, rbx := isa.IntR(0), isa.IntR(1)
+
+	// load4 bypasses.
+	if !b.TryShare(p1, KindSMB, rbx, isa.NoReg) {
+		t.Fatal("load4 share rejected")
+	}
+	// jmp8 checkpoints.
+	snap := b.Checkpoint()
+	// load10 bypasses on the (wrong) path.
+	if !b.TryShare(p1, KindSMB, isa.IntR(2), isa.NoReg) {
+		t.Fatal("load10 share rejected")
+	}
+	// shl3 and sub7 commit, overwriting the two older mappings of p1.
+	if b.OnCommitOverwrite(p1, rax) {
+		t.Fatal("p1 freed after first overwrite; committed should be 1")
+	}
+	if b.OnCommitOverwrite(p1, rbx) {
+		t.Fatal("p1 freed after second overwrite; referenced was 2")
+	}
+	// jmp8 was mispredicted: restore. committed (2) > restored referenced
+	// (1), so recovery must free p1.
+	freed := b.Restore(snap)
+	if len(freed) != 1 || freed[0] != p1 {
+		t.Fatalf("recovery freed %v, want [p1]", freed)
+	}
+	if b.IsShared(p1) {
+		t.Fatal("p1 still tracked after recovery free")
+	}
+}
+
+// TestFreeOnLastOverwrite checks the dual-counter freeing rule on the
+// correct path: a register with referenced=2 is freed by the third
+// overwriting commit.
+func TestFreeOnLastOverwrite(t *testing.T) {
+	b := NewISRB(8, 3)
+	p := preg(2)
+	b.TryShare(p, KindSMB, isa.IntR(1), isa.NoReg)
+	b.TryShare(p, KindSMB, isa.IntR(2), isa.NoReg)
+	if b.OnCommitOverwrite(p, isa.IntR(0)) { // producer's mapping
+		t.Fatal("freed after overwrite 1 of 3")
+	}
+	if b.OnCommitOverwrite(p, isa.IntR(1)) {
+		t.Fatal("freed after overwrite 2 of 3")
+	}
+	if !b.OnCommitOverwrite(p, isa.IntR(2)) {
+		t.Fatal("not freed after final overwrite")
+	}
+	if b.IsShared(p) {
+		t.Fatal("entry not released")
+	}
+}
+
+// TestUntrackedRegistersFreeNormally: a CAM miss means the register was
+// never shared and is freed immediately.
+func TestUntrackedRegistersFreeNormally(t *testing.T) {
+	b := NewISRB(4, 3)
+	if !b.OnCommitOverwrite(preg(9), isa.IntR(0)) {
+		t.Fatal("untracked register not freed")
+	}
+}
+
+// TestCapacityReject: a full ISRB aborts further sharing (the bypass then
+// simply does not happen, §4.3.2).
+func TestCapacityReject(t *testing.T) {
+	b := NewISRB(2, 3)
+	if !b.TryShare(preg(1), KindME, isa.IntR(1), isa.IntR(0)) ||
+		!b.TryShare(preg(2), KindME, isa.IntR(2), isa.IntR(0)) {
+		t.Fatal("initial shares rejected")
+	}
+	if b.TryShare(preg(3), KindME, isa.IntR(3), isa.IntR(0)) {
+		t.Fatal("share accepted with full ISRB")
+	}
+	if b.Stats().ShareFailsFull != 1 {
+		t.Fatalf("ShareFailsFull = %d, want 1", b.Stats().ShareFailsFull)
+	}
+	// Existing entries can still gain references.
+	if !b.TryShare(preg(1), KindME, isa.IntR(4), isa.IntR(0)) {
+		t.Fatal("re-share of tracked register rejected")
+	}
+}
+
+// TestCounterSaturationReject: an n-bit referenced counter rejects the
+// 2^n-th reference.
+func TestCounterSaturationReject(t *testing.T) {
+	b := NewISRB(4, 2) // max referenced = 3
+	p := preg(5)
+	for i := 0; i < 3; i++ {
+		if !b.TryShare(p, KindSMB, isa.IntR(i), isa.NoReg) {
+			t.Fatalf("share %d rejected prematurely", i)
+		}
+	}
+	if b.TryShare(p, KindSMB, isa.IntR(3), isa.NoReg) {
+		t.Fatal("share accepted past counter saturation")
+	}
+	if b.Stats().ShareFailsSat != 1 {
+		t.Fatalf("ShareFailsSat = %d, want 1", b.Stats().ShareFailsSat)
+	}
+}
+
+// TestWrongPathOnlyEntryDroppedOnRestore: an entry allocated entirely on
+// the squashed path (zero committed references) is freed by recovery
+// without releasing the register (the Free List pointer restore covers
+// it).
+func TestWrongPathOnlyEntryDroppedOnRestore(t *testing.T) {
+	b := NewISRB(4, 3)
+	snap := b.Checkpoint()
+	b.TryShare(preg(7), KindSMB, isa.IntR(1), isa.NoReg)
+	freed := b.Restore(snap)
+	if len(freed) != 0 {
+		t.Fatalf("recovery freed %v; the register was never committed-shared", freed)
+	}
+	if b.IsShared(preg(7)) {
+		t.Fatal("wrong-path entry survived recovery")
+	}
+}
+
+// TestStaleCheckpointInvalidation reproduces the §4.3.2 requirement: when
+// an entry is freed and its slot re-allocated, an older checkpoint must
+// not restore the stale referenced value into the new entry.
+func TestStaleCheckpointInvalidation(t *testing.T) {
+	b := NewISRB(1, 3) // single slot forces re-allocation
+	pOld, pNew := preg(1), preg(2)
+
+	b.TryShare(pOld, KindSMB, isa.IntR(1), isa.NoReg)
+	snap := b.Checkpoint() // tracks pOld with referenced=1
+
+	// pOld's entry is freed on the correct path...
+	if b.OnCommitOverwrite(pOld, isa.IntR(0)) {
+		t.Fatal("freed too early")
+	}
+	if !b.OnCommitOverwrite(pOld, isa.IntR(1)) {
+		t.Fatal("pOld should free on its final overwrite")
+	}
+	// ...and the slot is re-used by pNew on the (wrong) path.
+	if !b.TryShare(pNew, KindSMB, isa.IntR(2), isa.NoReg) {
+		t.Fatal("slot re-allocation failed")
+	}
+	// Restoring the old checkpoint must treat the slot's checkpointed
+	// referenced as invalid (gang-reset semantics): pNew's wrong-path
+	// entry is dropped, and no register is freed (pNew was never
+	// committed-shared; its tracking began on the squashed path).
+	freed := b.Restore(snap)
+	if len(freed) != 0 {
+		t.Fatalf("recovery freed %v, want none", freed)
+	}
+	if b.IsShared(pNew) {
+		t.Fatal("stale checkpoint resurrected a re-allocated entry")
+	}
+}
+
+// TestCommitLevelRestore checks RestoreToCommit: speculative references
+// vanish, architectural ones survive.
+func TestCommitLevelRestore(t *testing.T) {
+	b := NewISRB(8, 3)
+	pa, pb := preg(1), preg(2)
+
+	// pa: shared and the sharer committed (architectural).
+	b.TryShare(pa, KindSMB, isa.IntR(1), isa.NoReg)
+	b.OnCommitShare(pa)
+	// pb: shared speculatively only.
+	b.TryShare(pb, KindSMB, isa.IntR(2), isa.NoReg)
+
+	freed := b.RestoreToCommit()
+	if len(freed) != 0 {
+		t.Fatalf("freed %v, want none", freed)
+	}
+	if !b.IsShared(pa) {
+		t.Fatal("architectural share lost")
+	}
+	if b.IsShared(pb) {
+		t.Fatal("speculative-only share survived commit-level restore")
+	}
+	// pa still needs two overwrites to free.
+	if b.OnCommitOverwrite(pa, isa.IntR(0)) {
+		t.Fatal("pa freed on first overwrite")
+	}
+	if !b.OnCommitOverwrite(pa, isa.IntR(1)) {
+		t.Fatal("pa not freed on second overwrite")
+	}
+}
+
+// TestStorageMatchesPaper reproduces §4.3.3 and §6.3 exactly: a 32-entry
+// ISRB with 3-bit counters costs 480 bits plus 96 bits per checkpoint; 8
+// and 16 entries cost 24 and 48 bits per checkpoint.
+func TestStorageMatchesPaper(t *testing.T) {
+	cases := []struct {
+		entries, ckBits int
+	}{
+		{8, 24}, {16, 48}, {32, 96},
+	}
+	for _, c := range cases {
+		b := NewISRB(c.entries, 3)
+		st := b.Storage()
+		if st.CheckpointBits != c.ckBits {
+			t.Errorf("%d entries: checkpoint bits = %d, want %d", c.entries, st.CheckpointBits, c.ckBits)
+		}
+	}
+	if st := NewISRB(32, 3).Storage(); st.CPUBits != 480 {
+		t.Errorf("32-entry ISRB CPU storage = %d bits, want 480", st.CPUBits)
+	}
+	if got := RenameMapCheckpointBits(); got != 256 {
+		t.Errorf("rename map checkpoint = %d bits, want 256", got)
+	}
+}
+
+func TestSquashPenaltyIsConstant(t *testing.T) {
+	b := NewISRB(32, 3)
+	if b.SquashPenalty(1) != 1 || b.SquashPenalty(191) != 1 {
+		t.Fatal("ISRB recovery must be single-cycle regardless of squash size")
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	b := NewISRB(8, 3)
+	if b.Occupancy() != 0 {
+		t.Fatal("fresh ISRB not empty")
+	}
+	b.TryShare(preg(1), KindME, isa.IntR(1), isa.IntR(0))
+	b.TryShare(preg(2), KindME, isa.IntR(2), isa.IntR(0))
+	if b.Occupancy() != 2 {
+		t.Fatalf("occupancy = %d, want 2", b.Occupancy())
+	}
+}

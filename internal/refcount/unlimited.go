@@ -1,0 +1,164 @@
+package refcount
+
+import (
+	"repro/internal/isa"
+	"repro/internal/regfile"
+)
+
+// Unlimited is the ideal reference-tracking scheme the paper compares
+// against ("unlimited ISRB with 32-bit fields", §6.3): every physical
+// register can be tracked, counters never saturate, and recovery is still
+// checkpoint-based. It uses the same dual up-counter semantics as the ISRB.
+type Unlimited struct {
+	m     map[regfile.PhysReg]*unlEntry
+	stats Stats
+}
+
+type unlEntry struct {
+	ref     uint32
+	com     uint32
+	archRef uint32
+	gen     uint32
+}
+
+type unlSnap struct {
+	gen uint32
+	ref uint32
+}
+
+type unlimitedSnapshot map[regfile.PhysReg]unlSnap
+
+// NewUnlimited builds the ideal tracker.
+func NewUnlimited() *Unlimited {
+	return &Unlimited{m: make(map[regfile.PhysReg]*unlEntry)}
+}
+
+// Name implements Tracker.
+func (u *Unlimited) Name() string { return "unlimited" }
+
+// TryShare implements Tracker; it never fails.
+func (u *Unlimited) TryShare(p regfile.PhysReg, kind Kind, dst, src isa.Reg) bool {
+	e := u.m[p]
+	if e == nil {
+		e = &unlEntry{gen: uint32(u.stats.EntryAllocs<<1 | 1)}
+		u.m[p] = e
+		u.stats.EntryAllocs++
+	}
+	e.ref++
+	if kind == KindME {
+		u.stats.SharesME++
+	} else {
+		u.stats.SharesSMB++
+	}
+	return true
+}
+
+// OnCommitOverwrite implements Tracker.
+func (u *Unlimited) OnCommitOverwrite(p regfile.PhysReg, arch isa.Reg) bool {
+	u.stats.CommitChecks++
+	e := u.m[p]
+	if e == nil {
+		return true
+	}
+	u.stats.CommitHits++
+	if e.ref == e.com {
+		delete(u.m, p)
+		u.stats.Frees++
+		return true
+	}
+	e.com++
+	return false
+}
+
+// OnCommitShare implements Tracker.
+func (u *Unlimited) OnCommitShare(p regfile.PhysReg) {
+	if e := u.m[p]; e != nil && e.archRef < e.ref {
+		e.archRef++
+	}
+}
+
+// RestoreToCommit implements Tracker.
+func (u *Unlimited) RestoreToCommit() []regfile.PhysReg {
+	var freed []regfile.PhysReg
+	for p, e := range u.m {
+		ref := e.archRef
+		switch {
+		case e.com > ref:
+			delete(u.m, p)
+			freed = append(freed, p)
+			u.stats.RecoveryFrees++
+		case ref == 0 && e.com == 0:
+			delete(u.m, p)
+		default:
+			e.ref = ref
+		}
+	}
+	return freed
+}
+
+// IsShared implements Tracker.
+func (u *Unlimited) IsShared(p regfile.PhysReg) bool {
+	_, ok := u.m[p]
+	return ok
+}
+
+// Checkpoint implements Tracker.
+func (u *Unlimited) Checkpoint() Snapshot {
+	s := make(unlimitedSnapshot, len(u.m))
+	for p, e := range u.m {
+		s[p] = unlSnap{gen: e.gen, ref: e.ref}
+	}
+	return s
+}
+
+// Restore implements Tracker with the same recovery rules as the ISRB.
+func (u *Unlimited) Restore(s Snapshot) []regfile.PhysReg {
+	snap, ok := s.(unlimitedSnapshot)
+	if !ok {
+		panic("refcount: foreign snapshot passed to Unlimited.Restore")
+	}
+	u.stats.Restores++
+	var freed []regfile.PhysReg
+	for p, e := range u.m {
+		ref := uint32(0)
+		if sv, ok := snap[p]; ok && sv.gen == e.gen {
+			ref = sv.ref
+		}
+		switch {
+		case e.com > ref:
+			delete(u.m, p)
+			freed = append(freed, p)
+			u.stats.RecoveryFrees++
+		case ref == 0 && e.com == 0:
+			delete(u.m, p)
+		default:
+			e.ref = ref
+			if e.archRef > e.ref {
+				e.archRef = e.ref
+			}
+		}
+	}
+	return freed
+}
+
+// SquashPenalty implements Tracker.
+func (u *Unlimited) SquashPenalty(int) uint64 { return 1 }
+
+// Storage implements Tracker. The ideal scheme needs a 32-bit pair for
+// every physical register plus the same per checkpoint — the storage blow-
+// up the paper argues against (§4.2).
+func (u *Unlimited) Storage() StorageCost {
+	const numPhys = 2 * 256
+	return StorageCost{
+		CPUBits:        numPhys * 64,
+		CheckpointBits: numPhys * 32,
+	}
+}
+
+// Stats implements Tracker.
+func (u *Unlimited) Stats() *Stats { return &u.stats }
+
+// TrackedCount returns the number of currently tracked registers.
+func (u *Unlimited) TrackedCount() int { return len(u.m) }
+
+var _ Tracker = (*Unlimited)(nil)

@@ -1,0 +1,71 @@
+// Package rng provides a small, deterministic pseudo-random number
+// generator used by the synthetic workload generators and the DRAM model.
+//
+// The simulator must be fully reproducible: the same seed must yield the
+// same dynamic instruction stream and the same timing on every platform,
+// which is why we do not use math/rand (whose algorithm may change across
+// Go releases). The generator is xorshift128+, which is small, fast and
+// has more than enough statistical quality for workload synthesis.
+package rng
+
+// RNG is a deterministic xorshift128+ generator. The zero value is not
+// usable; construct with New.
+type RNG struct {
+	s0, s1 uint64
+}
+
+// New returns a generator seeded from the given seed. Two distinct seeds
+// yield uncorrelated streams for the purposes of workload generation.
+func New(seed uint64) *RNG {
+	// splitmix64 to spread the seed over both words, per Vigna's
+	// recommendation for seeding xorshift generators.
+	r := &RNG{}
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	r.s0 = z ^ (z >> 31)
+	z = r.s0 + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	r.s1 = z ^ (z >> 31)
+	if r.s0 == 0 && r.s1 == 0 {
+		r.s0 = 1 // the all-zero state is the only forbidden one
+	}
+	return r
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.s0
+	y := r.s1
+	r.s0 = y
+	x ^= x << 23
+	r.s1 = x ^ y ^ (x >> 17) ^ (y >> 26)
+	return r.s1 + y
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Range returns a pseudo-random int in [lo, hi]. It panics if hi < lo.
+func (r *RNG) Range(lo, hi int) int {
+	if hi < lo {
+		panic("rng: Range with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}

@@ -1,0 +1,117 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d identical outputs out of 1000", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n uint16) bool {
+		if n == 0 {
+			n = 1
+		}
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(int(n))
+			if v < 0 || v >= int(n) {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	if err := quick.Check(func(seed uint64, lo8, span8 uint8) bool {
+		lo, span := int(lo8), int(span8)
+		r := New(seed)
+		for i := 0; i < 20; i++ {
+			v := r.Range(lo, lo+span)
+			if v < lo || v > lo+span {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64InUnitInterval(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(99)
+	hits := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / trials
+	if frac < 0.23 || frac > 0.27 {
+		t.Fatalf("Bool(0.25) frequency %v, want ~0.25", frac)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64BitBalance(t *testing.T) {
+	// Each bit should be set roughly half the time.
+	r := New(1234)
+	const trials = 20000
+	var counts [64]int
+	for i := 0; i < trials; i++ {
+		v := r.Uint64()
+		for b := 0; b < 64; b++ {
+			if v>>b&1 == 1 {
+				counts[b]++
+			}
+		}
+	}
+	for b, c := range counts {
+		f := float64(c) / trials
+		if f < 0.45 || f > 0.55 {
+			t.Fatalf("bit %d set with frequency %v", b, f)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package smb
+
+import "repro/internal/tage"
+
+// DistancePredictor is the front-end component of the Instruction Distance
+// prediction infrastructure (§3.1): given a load's PC and the speculative
+// global/path history, it predicts how many instructions back the producer
+// of the loaded value is. Predictions are acted on only when Confident
+// (4-bit confidence counter saturated at 15).
+type DistancePredictor interface {
+	Name() string
+	// Predict returns (distance, confident). distance is meaningful only
+	// when confident.
+	Predict(pc uint64, h *tage.History) (uint16, bool)
+	// Train updates the predictor with the distance observed at commit,
+	// using the prediction-time history snapshot.
+	Train(pc uint64, h *tage.History, actual uint16)
+	// Mispredict resets confidence for pc after a validation failure so a
+	// re-fetched load does not immediately re-bypass with the same wrong
+	// distance.
+	Mispredict(pc uint64, h *tage.History)
+	// Storage returns the predictor's storage budget in bits.
+	Storage() int
+}
+
+// TAGEDistance is the paper's contributed predictor: a TAGE-like structure
+// with one tagged base component and five partially tagged components
+// mixing 2/5/11/27/64 bits of global branch history with 16 bits of path
+// history (§3.1; ≈12.2KB).
+type TAGEDistance struct {
+	p *tage.ValuePredictor
+}
+
+// NewTAGEDistance builds the paper-sized TAGE-like distance predictor.
+func NewTAGEDistance() *TAGEDistance {
+	return &TAGEDistance{p: tage.NewValuePredictor(tage.DefaultDistanceConfig())}
+}
+
+// NewTAGEDistanceWithConfig allows sweeps over alternative geometries.
+func NewTAGEDistanceWithConfig(cfg tage.ValueConfig) *TAGEDistance {
+	return &TAGEDistance{p: tage.NewValuePredictor(cfg)}
+}
+
+// TAGEConfigWithHistories derives a distance-predictor configuration from
+// the paper's, overriding the tagged components' history lengths. A
+// non-nil empty hist removes the tagged components entirely (a PC-indexed
+// base table only).
+func TAGEConfigWithHistories(hist []int) tage.ValueConfig {
+	cfg := tage.DefaultDistanceConfig()
+	if hist == nil {
+		return cfg
+	}
+	if len(hist) == 0 {
+		cfg.Tagged = nil
+		return cfg
+	}
+	for i := range cfg.Tagged {
+		if i < len(hist) {
+			cfg.Tagged[i].HistLen = hist[i]
+		}
+	}
+	return cfg
+}
+
+// Name implements DistancePredictor.
+func (t *TAGEDistance) Name() string { return "tage-distance" }
+
+// Predict implements DistancePredictor.
+func (t *TAGEDistance) Predict(pc uint64, h *tage.History) (uint16, bool) {
+	pr := t.p.Predict(pc, h)
+	return pr.Value, pr.Hit && pr.Confident
+}
+
+// Train implements DistancePredictor.
+func (t *TAGEDistance) Train(pc uint64, h *tage.History, actual uint16) {
+	t.p.Train(pc, h, actual)
+}
+
+// Mispredict implements DistancePredictor: retrain with an impossible
+// distance (0), which resets the provider's confidence.
+func (t *TAGEDistance) Mispredict(pc uint64, h *tage.History) {
+	t.p.Train(pc, h, 0)
+}
+
+// Storage implements DistancePredictor.
+func (t *TAGEDistance) Storage() int { return t.p.Storage() }
+
+var _ DistancePredictor = (*TAGEDistance)(nil)
+
+// NoSQDistance is the baseline predictor modelled on NoSQ's (§3.1): two
+// 4K-entry tables with 5-bit tags, one indexed by load PC only and one by
+// a hash of the PC, the global branch history and the path history (8 bits
+// of each XORed with the PC shifted left by 4 — footnote 4). When both
+// hit, the path-indexed table provides. On a misprediction an entry is
+// allocated in both tables. ≈17KB.
+type NoSQDistance struct {
+	pcTable   []nosqEntry
+	hashTable []nosqEntry
+	confMax   uint8
+}
+
+type nosqEntry struct {
+	valid bool
+	tag   uint16
+	dist  uint16
+	conf  uint8
+}
+
+// NewNoSQDistance builds the baseline with the paper's sizing.
+func NewNoSQDistance() *NoSQDistance {
+	return &NoSQDistance{
+		pcTable:   make([]nosqEntry, 4096),
+		hashTable: make([]nosqEntry, 4096),
+		confMax:   15,
+	}
+}
+
+// Name implements DistancePredictor.
+func (n *NoSQDistance) Name() string { return "nosq-distance" }
+
+func (n *NoSQDistance) pcIndexTag(pc uint64) (int, uint16) {
+	idx := int((pc >> 2) % uint64(len(n.pcTable)))
+	tag := uint16((pc >> 14) & 0x1F)
+	return idx, tag
+}
+
+func (n *NoSQDistance) hashIndexTag(pc uint64, h *tage.History) (int, uint16) {
+	g := uint64(h.Bits() & 0xFF)
+	p := uint64(h.Path() & 0xFF)
+	x := (g ^ p) ^ (pc << 4)
+	idx := int((x >> 2) % uint64(len(n.hashTable)))
+	tag := uint16(((x >> 14) ^ (pc >> 6)) & 0x1F)
+	return idx, tag
+}
+
+// Predict implements DistancePredictor.
+func (n *NoSQDistance) Predict(pc uint64, h *tage.History) (uint16, bool) {
+	pi, pt := n.pcIndexTag(pc)
+	hi, ht := n.hashIndexTag(pc, h)
+	pe, he := &n.pcTable[pi], &n.hashTable[hi]
+	pcHit := pe.valid && pe.tag == pt
+	hashHit := he.valid && he.tag == ht
+	switch {
+	case pcHit && hashHit:
+		return he.dist, he.conf >= n.confMax
+	case hashHit:
+		return he.dist, he.conf >= n.confMax
+	case pcHit:
+		return pe.dist, pe.conf >= n.confMax
+	default:
+		return 0, false
+	}
+}
+
+func trainEntry(e *nosqEntry, tag uint16, actual uint16, confMax uint8) {
+	if !e.valid || e.tag != tag {
+		*e = nosqEntry{valid: true, tag: tag, dist: actual, conf: 1}
+		return
+	}
+	if e.dist == actual {
+		if e.conf < confMax {
+			e.conf++
+		}
+		return
+	}
+	e.dist = actual
+	e.conf = 0
+}
+
+// Train implements DistancePredictor.
+func (n *NoSQDistance) Train(pc uint64, h *tage.History, actual uint16) {
+	pi, pt := n.pcIndexTag(pc)
+	hi, ht := n.hashIndexTag(pc, h)
+	trainEntry(&n.pcTable[pi], pt, actual, n.confMax)
+	trainEntry(&n.hashTable[hi], ht, actual, n.confMax)
+}
+
+// Mispredict implements DistancePredictor.
+func (n *NoSQDistance) Mispredict(pc uint64, h *tage.History) {
+	pi, pt := n.pcIndexTag(pc)
+	hi, ht := n.hashIndexTag(pc, h)
+	if e := &n.pcTable[pi]; e.valid && e.tag == pt {
+		e.conf = 0
+	}
+	if e := &n.hashTable[hi]; e.valid && e.tag == ht {
+		e.conf = 0
+	}
+}
+
+// Storage implements DistancePredictor: 2 tables × 4K entries × (5b tag +
+// 8b distance + 4b confidence) = 17KB as the paper reports.
+func (n *NoSQDistance) Storage() int {
+	return (len(n.pcTable) + len(n.hashTable)) * (5 + 8 + 4)
+}
+
+var _ DistancePredictor = (*NoSQDistance)(nil)

@@ -1,0 +1,210 @@
+package smb
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/tage"
+)
+
+func TestDDTUnlimited(t *testing.T) {
+	d := NewDDT(DDTConfig{})
+	if _, ok := d.Lookup(0x1000); ok {
+		t.Fatal("empty DDT hit")
+	}
+	d.Update(0x1000, 42)
+	if csn, ok := d.Lookup(0x1000); !ok || csn != 42 {
+		t.Fatalf("lookup = (%d,%v), want (42,true)", csn, ok)
+	}
+	d.Update(0x1000, 43) // aliasing store overwrites (Figure 1)
+	if csn, _ := d.Lookup(0x1000); csn != 43 {
+		t.Fatalf("update did not overwrite: %d", csn)
+	}
+	if d.Storage() != 0 {
+		t.Fatal("ideal DDT reports storage")
+	}
+}
+
+func TestDDTLimitedTagsAndConflicts(t *testing.T) {
+	d := NewDDT(DDTConfig{Entries: 16, TagBits: 5})
+	d.Update(0x1000, 7)
+	if csn, ok := d.Lookup(0x1000); !ok || csn != 7 {
+		t.Fatal("limited DDT lost a fresh entry")
+	}
+	// A conflicting address (same index, different tag) evicts.
+	conflict := uint64(0x1000) + 16*8
+	d.Update(conflict, 9)
+	if _, ok := d.Lookup(0x1000); ok {
+		t.Fatal("direct-mapped conflict did not evict")
+	}
+	if csn, ok := d.Lookup(conflict); !ok || csn != 9 {
+		t.Fatalf("conflicting entry lookup = (%d,%v)", csn, ok)
+	}
+}
+
+func TestDDTStorageMatchesPaper(t *testing.T) {
+	// §3.1: 16K entries, 14b tag + 64b address = 156KB; 1K entries, 5b
+	// tag = 8.625KB.
+	d16k := NewDDT(DDTConfig{Entries: 16384, TagBits: 14})
+	if kb := float64(d16k.Storage()) / 8 / 1024; kb != 156 {
+		t.Fatalf("16K DDT = %vKB, want 156", kb)
+	}
+	d1k := NewDDT(DDTConfig{Entries: 1024, TagBits: 5})
+	if kb := float64(d1k.Storage()) / 8 / 1024; kb < 8.6 || kb > 8.7 {
+		t.Fatalf("1K DDT = %vKB, want ~8.6", kb)
+	}
+}
+
+func TestCSNMap(t *testing.T) {
+	var m CSNMap
+	if _, ok := m.Producer(isa.IntR(3)); ok {
+		t.Fatal("unset producer reported")
+	}
+	m.Define(isa.IntR(3), 100)
+	if csn, ok := m.Producer(isa.IntR(3)); !ok || csn != 100 {
+		t.Fatalf("producer = (%d,%v)", csn, ok)
+	}
+	m.Define(isa.IntR(3), 200) // redefinition overwrites
+	if csn, _ := m.Producer(isa.IntR(3)); csn != 200 {
+		t.Fatal("redefinition did not overwrite CSN")
+	}
+	m.Define(isa.NoReg, 5) // must not crash or alias
+}
+
+// TestTrainerFigure1 replays the paper's Figure 1: add1 produces ar1,
+// store3 stores it, store4 (aliasing) stores sub2's value, load5 reads the
+// address. The trained distance must be load5.CSN - sub2.CSN = 3.
+func TestTrainerFigure1(t *testing.T) {
+	pred := NewTAGEDistance()
+	tr := NewTrainer(NewDDT(DDTConfig{}), pred, false)
+	var h tage.History
+
+	addr := uint64(0x9000)
+	ar1, ar2 := isa.IntR(1), isa.IntR(2)
+
+	uops := []struct {
+		u   isa.Uop
+		csn uint64
+	}{
+		{isa.Uop{Op: isa.ALU, Dest: ar1}, 0}, // add1
+		{isa.Uop{Op: isa.ALU, Dest: ar2}, 1}, // sub2
+		{isa.Uop{Op: isa.Store, Src: [isa.MaxSrcRegs]isa.Reg{ar1, isa.NoReg, isa.NoReg}, MemAddr: addr}, 2}, // store3 (p)
+		{isa.Uop{Op: isa.Store, Src: [isa.MaxSrcRegs]isa.Reg{ar2, isa.NoReg, isa.NoReg}, MemAddr: addr}, 3}, // store4 (q, aliases)
+	}
+	for _, x := range uops {
+		tr.Commit(&x.u, x.csn, &h)
+	}
+	load5 := isa.Uop{Op: isa.Load, PC: 0x5000, Dest: ar2, MemAddr: addr}
+	tr.Commit(&load5, 4, &h)
+	if tr.TrainedPairs != 1 {
+		t.Fatalf("trained pairs = %d, want 1", tr.TrainedPairs)
+	}
+	// Train repeatedly to saturate confidence, then check the distance.
+	for i := 0; i < 20; i++ {
+		tr.Commit(&load5, 4, &h)
+	}
+	// Note: repeated same-CSN commits re-train distance 3 each time.
+	d, conf := pred.Predict(0x5000, &h)
+	if !conf || d != 3 {
+		t.Fatalf("predicted distance = (%d,%v), want (3,true)", d, conf)
+	}
+}
+
+// TestTrainerLoadLoad: with the load-load generalization the DDT entry is
+// refreshed by loads, so a second load trains against the first.
+func TestTrainerLoadLoad(t *testing.T) {
+	pred := NewTAGEDistance()
+	tr := NewTrainer(NewDDT(DDTConfig{}), pred, true)
+	var h tage.History
+	addr := uint64(0x9100)
+
+	// Producer far in the past.
+	prod := isa.Uop{Op: isa.ALU, Dest: isa.IntR(1)}
+	tr.Commit(&prod, 0, &h)
+	st := isa.Uop{Op: isa.Store, Src: [isa.MaxSrcRegs]isa.Reg{isa.IntR(1), isa.NoReg, isa.NoReg}, MemAddr: addr}
+	tr.Commit(&st, 1, &h)
+
+	l1 := isa.Uop{Op: isa.Load, PC: 0x6000, Dest: isa.IntR(2), MemAddr: addr}
+	tr.Commit(&l1, 500, &h) // distance 500-0 > 255: out of range
+	if tr.OutOfRange != 1 {
+		t.Fatalf("out-of-range = %d, want 1", tr.OutOfRange)
+	}
+	// The load-load update recorded l1's CSN; a second load 40 later
+	// trains at distance 40.
+	l2 := isa.Uop{Op: isa.Load, PC: 0x6100, Dest: isa.IntR(3), MemAddr: addr}
+	tr.Commit(&l2, 540, &h)
+	if tr.TrainedPairs != 1 {
+		t.Fatalf("trained pairs = %d, want 1 (load-load)", tr.TrainedPairs)
+	}
+}
+
+// TestTrainerStoreOnlyMissesRedundantLoads: without load-load, the second
+// load's distance stays out of range — the §6.2 ablation's mechanism.
+func TestTrainerStoreOnlyMissesRedundantLoads(t *testing.T) {
+	tr := NewTrainer(NewDDT(DDTConfig{}), NewTAGEDistance(), false)
+	var h tage.History
+	addr := uint64(0x9200)
+	prod := isa.Uop{Op: isa.ALU, Dest: isa.IntR(1)}
+	tr.Commit(&prod, 0, &h)
+	st := isa.Uop{Op: isa.Store, Src: [isa.MaxSrcRegs]isa.Reg{isa.IntR(1), isa.NoReg, isa.NoReg}, MemAddr: addr}
+	tr.Commit(&st, 1, &h)
+	l1 := isa.Uop{Op: isa.Load, PC: 0x6000, Dest: isa.IntR(2), MemAddr: addr}
+	l2 := isa.Uop{Op: isa.Load, PC: 0x6100, Dest: isa.IntR(3), MemAddr: addr}
+	tr.Commit(&l1, 500, &h)
+	tr.Commit(&l2, 540, &h)
+	if tr.TrainedPairs != 0 {
+		t.Fatalf("store-only trainer found %d pairs, want 0", tr.TrainedPairs)
+	}
+	if tr.OutOfRange != 2 {
+		t.Fatalf("out-of-range = %d, want 2", tr.OutOfRange)
+	}
+}
+
+func TestNoSQPredictorBasics(t *testing.T) {
+	p := NewNoSQDistance()
+	var h tage.History
+	const pc = 0x7000
+	if _, conf := p.Predict(pc, &h); conf {
+		t.Fatal("cold predictor confident")
+	}
+	for i := 0; i < 15; i++ {
+		p.Train(pc, &h, 9)
+	}
+	d, conf := p.Predict(pc, &h)
+	if !conf || d != 9 {
+		t.Fatalf("prediction = (%d,%v), want (9,true)", d, conf)
+	}
+	// Mismatch resets confidence (§3.1: counters reset to 0).
+	p.Train(pc, &h, 11)
+	if _, conf := p.Predict(pc, &h); conf {
+		t.Fatal("confidence survived mismatch")
+	}
+}
+
+func TestMispredictResetsConfidence(t *testing.T) {
+	for _, mk := range []func() DistancePredictor{
+		func() DistancePredictor { return NewTAGEDistance() },
+		func() DistancePredictor { return NewNoSQDistance() },
+	} {
+		p := mk()
+		var h tage.History
+		for i := 0; i < 20; i++ {
+			p.Train(0x8000, &h, 5)
+		}
+		if _, conf := p.Predict(0x8000, &h); !conf {
+			t.Fatalf("%s: never became confident", p.Name())
+		}
+		p.Mispredict(0x8000, &h)
+		if _, conf := p.Predict(0x8000, &h); conf {
+			t.Fatalf("%s: confident after Mispredict", p.Name())
+		}
+	}
+}
+
+func TestNoSQStorageMatchesPaper(t *testing.T) {
+	// §3.1 / Table 1: 17KB for the NoSQ-style predictor.
+	kb := float64(NewNoSQDistance().Storage()) / 8 / 1024
+	if kb != 17 {
+		t.Fatalf("NoSQ predictor storage = %vKB, want 17", kb)
+	}
+}

@@ -1,0 +1,87 @@
+package smb
+
+import (
+	"repro/internal/isa"
+	"repro/internal/tage"
+)
+
+// Trainer is the commit-side half of the Instruction Distance prediction
+// infrastructure (§3.1, Figure 1). At retirement:
+//
+//   - every register-defining instruction writes its Commit Sequence
+//     Number (CSN) into the CSNMap entry of its architectural destination;
+//   - a committing store reads the CSNMap entry of its data register (the
+//     CSN of the instruction that produced the stored value) and writes it
+//     into the DDT entry for the stored-to address;
+//   - a committing load reads the DDT entry for its address; the
+//     difference between the load's CSN and the recorded CSN is the
+//     Instruction Distance, which trains the front-end predictor. With
+//     load-load bypassing enabled the load then writes its own CSN into
+//     the entry, letting one physical register keep feeding redundant
+//     loads after the original store has left the window (§3).
+//
+// The caller supplies the CSN (the core's rename counter, which equals
+// commit order on the correct path) and the load's fetch-time history.
+type Trainer struct {
+	DDT  *DDT
+	Pred DistancePredictor
+	// LoadLoad enables the load-load generalization.
+	LoadLoad bool
+	// MaxDistance bounds trainable distances (8-bit fields suffice: the
+	// distance cannot exceed the ROB size plus in-flight µops, §3.1).
+	MaxDistance uint16
+
+	csnMap CSNMap
+
+	// Stats
+	TrainedPairs   uint64 // loads with a usable DDT-identified distance
+	OutOfRange     uint64 // identified pairs too distant to encode
+	StoreUpdates   uint64
+	LoadUpdates    uint64
+	UntrainedLoads uint64 // committed loads with no DDT hit
+}
+
+// NewTrainer wires a trainer; pred may be nil (training disabled: used by
+// the baseline core).
+func NewTrainer(ddt *DDT, pred DistancePredictor, loadLoad bool) *Trainer {
+	return &Trainer{DDT: ddt, Pred: pred, LoadLoad: loadLoad, MaxDistance: 255}
+}
+
+// Commit processes one retiring µop. csn is the µop's commit sequence
+// number; h is the load's fetch-time history snapshot (only used for
+// loads).
+func (t *Trainer) Commit(u *isa.Uop, csn uint64, h *tage.History) {
+	switch u.Op {
+	case isa.Store:
+		if prod, ok := t.csnMap.Producer(u.Src[0]); ok {
+			t.DDT.Update(u.MemAddr, prod)
+			t.StoreUpdates++
+		}
+	case isa.Load:
+		if prodCSN, ok := t.DDT.Lookup(u.MemAddr); ok && prodCSN < csn {
+			d := csn - prodCSN
+			if d <= uint64(t.MaxDistance) {
+				t.TrainedPairs++
+				if t.Pred != nil {
+					t.Pred.Train(u.PC, h, uint16(d))
+				}
+			} else {
+				t.OutOfRange++
+				if t.Pred != nil {
+					// Unencodable distance: kill confidence so the
+					// front-end stops predicting this load.
+					t.Pred.Train(u.PC, h, 0)
+				}
+			}
+		} else {
+			t.UntrainedLoads++
+		}
+		if t.LoadLoad {
+			t.DDT.Update(u.MemAddr, csn)
+			t.LoadUpdates++
+		}
+	}
+	if u.HasDest() {
+		t.csnMap.Define(u.Dest, csn)
+	}
+}

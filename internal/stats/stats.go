@@ -1,0 +1,183 @@
+// Package stats provides the counters and summary helpers used by the
+// simulator and by the experiment harness that regenerates the paper's
+// figures (geometric-mean speedups, per-benchmark tables, log-scale
+// event counts).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Speedup returns the relative speedup of ipc over base as the paper
+// reports it: 1.05 means "+5%". A zero base yields 1 to keep downstream
+// geometric means well-defined.
+func Speedup(ipc, base float64) float64 {
+	if base == 0 {
+		return 1
+	}
+	return ipc / base
+}
+
+// GeoMean returns the geometric mean of xs. Non-positive entries are
+// clamped to a tiny positive value so a single degenerate benchmark cannot
+// poison the mean; the paper's gmean speedups are always near 1.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			x = 1e-9
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Max returns the maximum of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	m := 0.0
+	for i, x := range xs {
+		if i == 0 || x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	m := 0.0
+	for i, x := range xs {
+		if i == 0 || x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Table accumulates rows of named values and renders a fixed-width text
+// table, which is how cmd/paperfigs prints each figure's data series.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; cells beyond len(Columns) are dropped, missing
+// cells are blank.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowF appends a row of formatted cells: strings pass through, float64
+// render with 3 decimals, ints in decimal.
+func (t *Table) AddRowF(cells ...interface{}) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row = append(row, v)
+		case float64:
+			row = append(row, fmt.Sprintf("%.3f", v))
+		case int:
+			row = append(row, fmt.Sprintf("%d", v))
+		case int64:
+			row = append(row, fmt.Sprintf("%d", v))
+		case uint64:
+			row = append(row, fmt.Sprintf("%d", v))
+		default:
+			row = append(row, fmt.Sprint(v))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// NumRows returns the number of data rows added so far.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	for i, c := range t.Columns {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for i := range t.Columns {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", widths[i]))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Pct formats a speedup ratio (1.052 -> "+5.2%").
+func Pct(speedup float64) string {
+	return fmt.Sprintf("%+.1f%%", (speedup-1)*100)
+}
+
+// SortedKeys returns the keys of m in sorted order; used to render
+// per-benchmark maps deterministically.
+func SortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,172 @@
+// Package storesets implements the Store Sets memory dependence predictor
+// of Chrysos & Emer that the paper's baseline uses (Table 1: 4K-entry SSIT
+// and LFST, not rolled back on squash).
+//
+// Loads and stores that have collided in the past are placed in a common
+// "store set". At rename, a store records itself as the last fetched store
+// of its set (LFST); a load belonging to a set must wait for that store.
+// Because the tables are not repaired on a squash, wrong-path stores can
+// linger in the LFST and create false dependencies — one of the two event
+// classes SMB is shown to mitigate (Fig. 6b).
+package storesets
+
+// Config sizes the predictor.
+type Config struct {
+	SSITEntries int // store-set ID table entries (PC-indexed)
+	LFSTEntries int // last-fetched-store table entries (SSID-indexed)
+	// ClearPeriod is Chrysos & Emer's cyclic clearing: after this many
+	// load/store renames the tables are wiped, breaking stale sets
+	// (gem5's StoreSet model does the same). 0 disables clearing.
+	ClearPeriod uint64
+}
+
+// DefaultConfig mirrors Table 1. gem5's store-set clear period is on the
+// order of hundreds of thousands of memory operations against 100M-
+// instruction SimPoints; the default here is scaled to this harness's
+// run lengths (~10^5 µops) so the steady-state trap trickle of Figure 4
+// is visible at the same events-per-instruction rate.
+func DefaultConfig() Config {
+	return Config{SSITEntries: 4096, LFSTEntries: 4096, ClearPeriod: 25_000}
+}
+
+const invalidSSID = int32(-1)
+
+type lfstEntry struct {
+	valid bool
+	seq   uint64 // dynamic sequence number of the last fetched store
+}
+
+// StoreSets is the predictor state.
+type StoreSets struct {
+	cfg      Config
+	ssit     []int32
+	lfst     []lfstEntry
+	accesses uint64
+
+	// Stats
+	Assignments uint64 // violations that trained the tables
+	LoadDeps    uint64 // loads given a store dependence at rename
+	StoreDeps   uint64 // stores serialized behind same-set stores
+	Clears      uint64 // cyclic table clears
+}
+
+// New builds the predictor.
+func New(cfg Config) *StoreSets {
+	s := &StoreSets{
+		cfg:  cfg,
+		ssit: make([]int32, cfg.SSITEntries),
+		lfst: make([]lfstEntry, cfg.LFSTEntries),
+	}
+	for i := range s.ssit {
+		s.ssit[i] = invalidSSID
+	}
+	return s
+}
+
+func (s *StoreSets) ssitIndex(pc uint64) int {
+	return int((pc >> 2) % uint64(len(s.ssit)))
+}
+
+// tick advances the cyclic-clearing counter; called once per load/store
+// rename.
+func (s *StoreSets) tick() {
+	if s.cfg.ClearPeriod == 0 {
+		return
+	}
+	s.accesses++
+	if s.accesses >= s.cfg.ClearPeriod {
+		s.accesses = 0
+		s.Clears++
+		for i := range s.ssit {
+			s.ssit[i] = invalidSSID
+		}
+		for i := range s.lfst {
+			s.lfst[i] = lfstEntry{}
+		}
+	}
+}
+
+// RenameLoad is called when a load is renamed. If the load belongs to a
+// store set whose last fetched store is still in flight, it returns that
+// store's sequence number and true: the load must not issue before the
+// store's address and data are known.
+func (s *StoreSets) RenameLoad(pc uint64) (uint64, bool) {
+	s.tick()
+	ssid := s.ssit[s.ssitIndex(pc)]
+	if ssid == invalidSSID {
+		return 0, false
+	}
+	e := &s.lfst[int(ssid)%len(s.lfst)]
+	if !e.valid {
+		return 0, false
+	}
+	s.LoadDeps++
+	return e.seq, true
+}
+
+// RenameStore is called when a store is renamed. It returns the previous
+// last-fetched store of the set (for store-store ordering) and records
+// this store as the new last fetched store of its set.
+func (s *StoreSets) RenameStore(pc uint64, seq uint64) (uint64, bool) {
+	s.tick()
+	ssid := s.ssit[s.ssitIndex(pc)]
+	if ssid == invalidSSID {
+		return 0, false
+	}
+	e := &s.lfst[int(ssid)%len(s.lfst)]
+	prev, had := e.seq, e.valid
+	e.valid = true
+	e.seq = seq
+	if had {
+		s.StoreDeps++
+	}
+	return prev, had
+}
+
+// StoreRetired is called when a store leaves the window (issues its data
+// or commits); if it is still the set's last fetched store, the entry is
+// invalidated so later loads do not wait on a departed store.
+func (s *StoreSets) StoreRetired(pc uint64, seq uint64) {
+	ssid := s.ssit[s.ssitIndex(pc)]
+	if ssid == invalidSSID {
+		return
+	}
+	e := &s.lfst[int(ssid)%len(s.lfst)]
+	if e.valid && e.seq == seq {
+		e.valid = false
+	}
+}
+
+// Violation trains the tables after a memory-order violation between the
+// load at loadPC and the store at storePC, using Chrysos & Emer's merge
+// rules: both instructions end up in a common set, preferring the smaller
+// existing SSID.
+func (s *StoreSets) Violation(loadPC, storePC uint64) {
+	s.Assignments++
+	li, si := s.ssitIndex(loadPC), s.ssitIndex(storePC)
+	lset, sset := s.ssit[li], s.ssit[si]
+	switch {
+	case lset == invalidSSID && sset == invalidSSID:
+		ssid := int32(li % len(s.lfst))
+		s.ssit[li] = ssid
+		s.ssit[si] = ssid
+	case lset != invalidSSID && sset == invalidSSID:
+		s.ssit[si] = lset
+	case lset == invalidSSID && sset != invalidSSID:
+		s.ssit[li] = sset
+	default:
+		// Both assigned: winner is the smaller SSID (declining merge).
+		if lset < sset {
+			s.ssit[si] = lset
+		} else {
+			s.ssit[li] = sset
+		}
+	}
+}
+
+// Storage returns the predictor's storage in bits (SSID width derived from
+// the LFST size; LFST holds a sequence-number-sized tag per entry).
+func (s *StoreSets) Storage() int {
+	ssidBits := 12 // log2(4096)
+	return len(s.ssit)*ssidBits + len(s.lfst)*(1+16)
+}

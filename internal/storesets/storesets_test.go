@@ -1,0 +1,116 @@
+package storesets
+
+import "testing"
+
+func cfgNoClear() Config {
+	c := DefaultConfig()
+	c.ClearPeriod = 0
+	return c
+}
+
+// TestViolationCreatesDependence: after a violation, the load waits for
+// the store's next instance.
+func TestViolationCreatesDependence(t *testing.T) {
+	s := New(cfgNoClear())
+	loadPC, storePC := uint64(0x100), uint64(0x200)
+
+	if _, ok := s.RenameLoad(loadPC); ok {
+		t.Fatal("untrained load was given a dependence")
+	}
+	s.Violation(loadPC, storePC)
+
+	s.RenameStore(storePC, 10)
+	dep, ok := s.RenameLoad(loadPC)
+	if !ok || dep != 10 {
+		t.Fatalf("load dependence = (%d,%v), want (10,true)", dep, ok)
+	}
+}
+
+// TestStoreRetiredInvalidatesLFST: once the last fetched store retires,
+// loads stop waiting.
+func TestStoreRetiredInvalidatesLFST(t *testing.T) {
+	s := New(cfgNoClear())
+	s.Violation(0x100, 0x200)
+	s.RenameStore(0x200, 5)
+	s.StoreRetired(0x200, 5)
+	if _, ok := s.RenameLoad(0x100); ok {
+		t.Fatal("load depends on a retired store")
+	}
+	// Retiring an older instance must not clear a newer one.
+	s.RenameStore(0x200, 8)
+	s.StoreRetired(0x200, 5)
+	if _, ok := s.RenameLoad(0x100); !ok {
+		t.Fatal("newer store's LFST entry was cleared by an older retirement")
+	}
+}
+
+// TestStoreStoreOrdering: two stores of one set serialize through the
+// LFST.
+func TestStoreStoreOrdering(t *testing.T) {
+	s := New(cfgNoClear())
+	// Merge both stores into the load's set via two violations.
+	s.Violation(0x100, 0x200)
+	s.Violation(0x100, 0x300)
+	s.RenameStore(0x200, 20)
+	prev, ok := s.RenameStore(0x300, 21)
+	if !ok || prev != 20 {
+		t.Fatalf("second store's predecessor = (%d,%v), want (20,true)", prev, ok)
+	}
+}
+
+// TestMergeRules: Chrysos & Emer's declining merge — the smaller SSID
+// wins when both parties are assigned.
+func TestMergeRules(t *testing.T) {
+	s := New(cfgNoClear())
+	// Create two distinct sets.
+	s.Violation(0x100, 0x200) // set A
+	s.Violation(0x104, 0x204) // set B
+	a := s.ssit[s.ssitIndex(0x100)]
+	b := s.ssit[s.ssitIndex(0x104)]
+	if a == b {
+		t.Fatal("distinct pairs merged prematurely")
+	}
+	// Cross violation merges them.
+	s.Violation(0x100, 0x204)
+	a2 := s.ssit[s.ssitIndex(0x100)]
+	b2 := s.ssit[s.ssitIndex(0x204)]
+	if a2 != b2 {
+		t.Fatal("cross violation did not merge sets")
+	}
+	want := a
+	if b < a {
+		want = b
+	}
+	if a2 != want {
+		t.Fatalf("merge kept SSID %d, want the smaller of (%d,%d)", a2, a, b)
+	}
+}
+
+// TestCyclicClearing: after ClearPeriod renames the tables are wiped
+// (Chrysos & Emer's periodic clearing; sustains the trap trickle the
+// paper's Figure 4 shows).
+func TestCyclicClearing(t *testing.T) {
+	cfg := cfgNoClear()
+	cfg.ClearPeriod = 10
+	s := New(cfg)
+	s.Violation(0x100, 0x200)
+	s.RenameStore(0x200, 1)
+	if _, ok := s.RenameLoad(0x100); !ok {
+		t.Fatal("dependence missing before clear")
+	}
+	for i := 0; i < 12; i++ {
+		s.RenameLoad(0x900 + uint64(i*4))
+	}
+	if s.Clears == 0 {
+		t.Fatal("no cyclic clear happened")
+	}
+	if _, ok := s.RenameLoad(0x100); ok {
+		t.Fatal("dependence survived the cyclic clear")
+	}
+}
+
+func TestStoragePositive(t *testing.T) {
+	if New(DefaultConfig()).Storage() <= 0 {
+		t.Fatal("storage must be positive")
+	}
+}

@@ -1,0 +1,96 @@
+// Package tage implements the TAgged GEometric-history prediction framework
+// of Seznec & Michaud that the paper uses twice: as the front-end branch
+// direction predictor (1 base + 12 tagged components, ~15K entries) and as
+// the Instruction Distance Predictor for Speculative Memory Bypassing
+// (1 base + 5 tagged components, §3.1).
+//
+// The package provides the shared machinery (global branch history, path
+// history, history folding, tagged-table geometry) plus two concrete
+// predictors: BranchPredictor (binary outcome, signed counters) and
+// ValuePredictor (small integer payload with a saturating confidence
+// counter, as the distance predictor requires).
+package tage
+
+// MaxHistoryBits is the longest supported global history. 256 bits covers
+// the longest component of the paper's branch TAGE and far exceeds the
+// 64 bits the distance predictor needs.
+const MaxHistoryBits = 256
+
+const historyWords = MaxHistoryBits / 64
+
+// History carries the speculative global branch history and path history.
+// It is a small value type so the core can checkpoint it per in-flight
+// branch and restore it on a pipeline flush with a plain assignment —
+// exactly the checkpoint-based recovery model the paper assumes (§4.1).
+type History struct {
+	bits [historyWords]uint64 // bit 0 of word 0 is the most recent outcome
+	path uint64               // 1 bit of branch PC per branch, newest in bit 0
+}
+
+// Push records one branch outcome and one path bit.
+func (h *History) Push(taken bool, pc uint64) {
+	carry := uint64(0)
+	if taken {
+		carry = 1
+	}
+	for i := 0; i < historyWords; i++ {
+		next := h.bits[i] >> 63
+		h.bits[i] = h.bits[i]<<1 | carry
+		carry = next
+	}
+	h.path = h.path<<1 | ((pc >> 2) & 1)
+}
+
+// Fold compresses the most recent length bits of global history into width
+// bits by XOR-folding fixed-size chunks. width must be in (0,32]; length
+// may be 0 (returns 0) up to MaxHistoryBits.
+func (h *History) Fold(length, width int) uint32 {
+	if length <= 0 || width <= 0 {
+		return 0
+	}
+	if length > MaxHistoryBits {
+		length = MaxHistoryBits
+	}
+	var folded uint32
+	mask := uint32(1)<<width - 1
+	// Walk the first `length` bits in chunks of `width`.
+	for start := 0; start < length; start += width {
+		var chunk uint32
+		n := width
+		if start+n > length {
+			n = length - start
+		}
+		for b := 0; b < n; b++ {
+			pos := start + b
+			bit := (h.bits[pos/64] >> (pos % 64)) & 1
+			chunk |= uint32(bit) << b
+		}
+		folded ^= chunk
+	}
+	return folded & mask
+}
+
+// FoldPath compresses the most recent length path bits into width bits.
+func (h *History) FoldPath(length, width int) uint32 {
+	if length <= 0 || width <= 0 {
+		return 0
+	}
+	if length > 64 {
+		length = 64
+	}
+	var folded uint32
+	mask := uint32(1)<<width - 1
+	p := h.path & (^uint64(0) >> (64 - uint(length)))
+	for p != 0 {
+		folded ^= uint32(p) & mask
+		p >>= uint(width)
+	}
+	return folded & mask
+}
+
+// Bits returns the low 64 bits of global history (newest outcome in bit 0);
+// used by the NoSQ-style hashed distance table (§3.1 footnote 4).
+func (h *History) Bits() uint64 { return h.bits[0] }
+
+// Path returns the low 64 bits of path history.
+func (h *History) Path() uint64 { return h.path }

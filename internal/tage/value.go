@@ -1,0 +1,260 @@
+package tage
+
+// ValueConfig sizes a ValuePredictor, the TAGE-like structure the paper
+// uses as the Instruction Distance Predictor (§3.1): a tagged base table
+// plus partially tagged components indexed with PC, global branch history
+// and path history. Each entry stores a small value (the instruction
+// distance, 8 bits suffice for a 192-entry ROB plus in-flight µops) and a
+// saturating confidence counter (4 bits; prediction is used only when the
+// counter is saturated).
+type ValueConfig struct {
+	LogBaseEntries int
+	BaseTagBits    int
+	Tagged         []TaggedSpec
+	ValueBits      int
+	ConfBits       int
+}
+
+// DefaultDistanceConfig mirrors the paper's distance predictor exactly:
+// 4096-entry base (5b tag) and five tagged components of 512(10b),
+// 512(10b), 256(11b), 128(11b), 128(12b) entries with 2/5/11/27/64 bits of
+// global history mixed with 16 bits of path history; 8-bit distances and
+// 4-bit confidence counters. Total ≈12.2-12.7KB depending on accounting.
+func DefaultDistanceConfig() ValueConfig {
+	return ValueConfig{
+		LogBaseEntries: 12,
+		BaseTagBits:    5,
+		Tagged: []TaggedSpec{
+			{LogEntries: 9, TagBits: 10, HistLen: 2, PathLen: 16},
+			{LogEntries: 9, TagBits: 10, HistLen: 5, PathLen: 16},
+			{LogEntries: 8, TagBits: 11, HistLen: 11, PathLen: 16},
+			{LogEntries: 7, TagBits: 11, HistLen: 27, PathLen: 16},
+			{LogEntries: 7, TagBits: 12, HistLen: 64, PathLen: 16},
+		},
+		ValueBits: 8,
+		ConfBits:  4,
+	}
+}
+
+type valueEntry struct {
+	tag    uint32
+	value  uint16
+	conf   uint8
+	useful uint8
+}
+
+type valueTable struct {
+	spec    TaggedSpec
+	entries []valueEntry
+	mask    uint32
+	tagMask uint32
+}
+
+// ValuePrediction is the result of a ValuePredictor lookup.
+type ValuePrediction struct {
+	// Value is the predicted payload (meaningful only when Hit).
+	Value uint16
+	// Confident reports whether the providing entry's confidence counter
+	// is saturated; the consumer (SMB) acts only on confident hits.
+	Confident bool
+	// Hit reports whether any component's tag matched.
+	Hit bool
+
+	provider int // -1 = base table
+	indices  [MaxComponents]uint32
+	tags     [MaxComponents]uint32
+	baseIdx  uint32
+	baseTag  uint32
+}
+
+// ValuePredictor is a TAGE-like predictor for small integer payloads.
+type ValuePredictor struct {
+	cfg     ValueConfig
+	base    []valueEntry
+	baseMsk uint32
+	baseTag uint32
+	tables  []valueTable
+	confMax uint8
+	tick    uint32
+}
+
+// NewValuePredictor builds a ValuePredictor from cfg.
+func NewValuePredictor(cfg ValueConfig) *ValuePredictor {
+	p := &ValuePredictor{
+		cfg:     cfg,
+		base:    make([]valueEntry, 1<<cfg.LogBaseEntries),
+		baseMsk: uint32(1)<<cfg.LogBaseEntries - 1,
+		baseTag: uint32(1)<<cfg.BaseTagBits - 1,
+		confMax: uint8(1)<<cfg.ConfBits - 1,
+	}
+	for _, spec := range cfg.Tagged {
+		p.tables = append(p.tables, valueTable{
+			spec:    spec,
+			entries: make([]valueEntry, 1<<spec.LogEntries),
+			mask:    uint32(1)<<spec.LogEntries - 1,
+			tagMask: uint32(1)<<spec.TagBits - 1,
+		})
+	}
+	return p
+}
+
+// Storage returns the predictor's storage in bits, counting tag, value and
+// confidence per entry (the paper's accounting for the 12.2KB figure).
+func (p *ValuePredictor) Storage() int {
+	per := p.cfg.BaseTagBits + p.cfg.ValueBits + p.cfg.ConfBits
+	bits := len(p.base) * per
+	for _, t := range p.tables {
+		bits += len(t.entries) * (t.spec.TagBits + p.cfg.ValueBits + p.cfg.ConfBits)
+	}
+	return bits
+}
+
+// Entries returns the total entry count across all components.
+func (p *ValuePredictor) Entries() int {
+	n := len(p.base)
+	for _, t := range p.tables {
+		n += len(t.entries)
+	}
+	return n
+}
+
+func (p *ValuePredictor) vindex(t *valueTable, pc uint64, h *History) uint32 {
+	w := t.spec.LogEntries
+	return (uint32(pc>>2) ^ uint32(pc>>(2+uint(w))) ^
+		h.Fold(t.spec.HistLen, w) ^
+		h.FoldPath(t.spec.PathLen, w)) & t.mask
+}
+
+func (p *ValuePredictor) vtag(t *valueTable, pc uint64, h *History) uint32 {
+	w := t.spec.TagBits
+	return (uint32(pc>>2) ^ h.Fold(t.spec.HistLen, w) ^ (h.Fold(t.spec.HistLen, w-1) << 1)) & t.tagMask
+}
+
+func (p *ValuePredictor) baseIndexTag(pc uint64) (uint32, uint32) {
+	idx := uint32(pc>>2) & p.baseMsk
+	tag := uint32(pc>>(2+uint(p.cfg.LogBaseEntries))) & p.baseTag
+	return idx, tag
+}
+
+// Predict looks up the payload for pc under history h.
+func (p *ValuePredictor) Predict(pc uint64, h *History) ValuePrediction {
+	pr := ValuePrediction{provider: -1}
+	pr.baseIdx, pr.baseTag = p.baseIndexTag(pc)
+	for i := range p.tables {
+		pr.indices[i] = p.vindex(&p.tables[i], pc, h)
+		pr.tags[i] = p.vtag(&p.tables[i], pc, h)
+	}
+	for i := len(p.tables) - 1; i >= 0; i-- {
+		e := &p.tables[i].entries[pr.indices[i]]
+		if e.tag == pr.tags[i] && e.conf > 0 {
+			pr.provider = i
+			pr.Hit = true
+			pr.Value = e.value
+			pr.Confident = e.conf == p.confMax
+			return pr
+		}
+	}
+	be := &p.base[pr.baseIdx]
+	if be.tag == pr.baseTag && be.conf > 0 {
+		pr.Hit = true
+		pr.Value = be.value
+		pr.Confident = be.conf == p.confMax
+	}
+	return pr
+}
+
+// Train updates the predictor with the observed payload for pc under the
+// prediction-time history h (the caller re-supplies the snapshot captured
+// at fetch). Confidence is incremented on a match and reset to zero on a
+// mismatch (§3.1); a mismatch in a tagged provider also triggers an
+// allocation in a longer-history component, standard TAGE style.
+func (p *ValuePredictor) Train(pc uint64, h *History, actual uint16) {
+	pr := p.lookupState(pc, h)
+
+	if pr.provider >= 0 {
+		e := &p.tables[pr.provider].entries[pr.indices[pr.provider]]
+		if e.value == actual {
+			if e.conf < p.confMax {
+				e.conf++
+			}
+			if e.useful < 3 {
+				e.useful++
+			}
+			return
+		}
+		// Mismatch: reset confidence and retrain the value; allocate a
+		// longer-history entry to capture a history-dependent pattern.
+		e.conf = 1
+		e.value = actual
+		if e.useful > 0 {
+			e.useful--
+		}
+		p.allocateLonger(&pr, actual)
+		return
+	}
+
+	// Base provider (or total miss).
+	be := &p.base[pr.baseIdx]
+	if be.tag == pr.baseTag && be.conf > 0 {
+		if be.value == actual {
+			if be.conf < p.confMax {
+				be.conf++
+			}
+			return
+		}
+		be.conf = 1
+		be.value = actual
+		p.allocateLonger(&pr, actual)
+		return
+	}
+	// Cold miss: claim the base entry.
+	be.tag = pr.baseTag
+	be.value = actual
+	be.conf = 1
+}
+
+// lookupState recomputes indices/tags and the providing component without
+// returning a user-facing prediction.
+func (p *ValuePredictor) lookupState(pc uint64, h *History) ValuePrediction {
+	pr := ValuePrediction{provider: -1}
+	pr.baseIdx, pr.baseTag = p.baseIndexTag(pc)
+	for i := range p.tables {
+		pr.indices[i] = p.vindex(&p.tables[i], pc, h)
+		pr.tags[i] = p.vtag(&p.tables[i], pc, h)
+	}
+	for i := len(p.tables) - 1; i >= 0; i-- {
+		e := &p.tables[i].entries[pr.indices[i]]
+		if e.tag == pr.tags[i] && e.conf > 0 {
+			pr.provider = i
+			break
+		}
+	}
+	return pr
+}
+
+func (p *ValuePredictor) allocateLonger(pr *ValuePrediction, actual uint16) {
+	start := pr.provider + 1
+	for i := start; i < len(p.tables); i++ {
+		e := &p.tables[i].entries[pr.indices[i]]
+		if e.useful == 0 {
+			e.tag = pr.tags[i]
+			e.value = actual
+			e.conf = 1
+			return
+		}
+	}
+	for i := start; i < len(p.tables); i++ {
+		e := &p.tables[i].entries[pr.indices[i]]
+		if e.useful > 0 {
+			e.useful--
+		}
+	}
+	p.tick++
+	if p.tick&(1<<16-1) == 0 {
+		for i := range p.tables {
+			for j := range p.tables[i].entries {
+				p.tables[i].entries[j].useful >>= 1
+			}
+		}
+	}
+}

@@ -1,0 +1,707 @@
+package workloads
+
+import (
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// This file contains the instruction-group emitters: each emits a small,
+// self-contained µop pattern exercising one of the behaviours the paper's
+// evaluation depends on, and returns the number of instructions emitted.
+
+// block emits one body block: an optional inner loop wrapper around a
+// budgeted stream of groups, an optional data-dependent hop, and an
+// optional leaf call.
+func (g *gen) block(idx int) {
+	s := g.spec
+	useInner := idx%3 == 0 && s.InnerTripA > 1
+	trip := s.InnerTripA
+	if idx%2 == 1 {
+		trip = s.InnerTripB
+	}
+	var innerLbl string
+	if useInner {
+		g.emitALU(program.SInst{
+			Op: isa.ALU, Sem: program.SemMovImm, Dest: rInner, Imm: 0, Width: 64,
+		})
+		innerLbl = g.uniqueLabel("inner")
+		g.b.Label(innerLbl)
+	}
+
+	emitted := 0
+	hopAt := -1
+	if g.r.Bool(s.BranchPct) {
+		hopAt = g.r.Intn(s.BlockLen)
+	}
+	for emitted < s.BlockLen {
+		var n int
+		if hopAt >= 0 && emitted >= hopAt {
+			n = g.condHop()
+			hopAt = -1
+		} else {
+			n = g.group()
+		}
+		emitted += n
+		g.instrs += n
+	}
+
+	if g.r.Bool(s.CallPct) {
+		g.b.EmitBranchTo(program.SInst{
+			Op: isa.Branch, Kind: isa.BrCall, Cond: program.CondAlways,
+			Src: [2]isa.Reg{rOuter, isa.NoReg}, Width: 64,
+		}, leafLabel(g.r.Intn(2)))
+	}
+
+	if useInner {
+		g.emitALU(program.SInst{
+			Op: isa.ALU, Sem: program.SemAddImm,
+			Src: [2]isa.Reg{rInner, isa.NoReg}, Dest: rInner, Imm: 1, Width: 64,
+		})
+		g.b.EmitBranchTo(program.SInst{
+			Op: isa.Branch, Kind: isa.BrCond, Cond: program.CondLTImm,
+			Src: [2]isa.Reg{rInner, isa.NoReg}, Imm: uint64(trip), Width: 64,
+		}, innerLbl)
+	}
+}
+
+// group picks one pattern. The rare, behaviour-defining patterns (traps,
+// false dependencies, aliasing, partial overlap) are emitted on running
+// quotas so every benchmark realizes its configured rates even in a small
+// static footprint; the common patterns are drawn by roulette.
+func (g *gen) group() int {
+	g.groups++
+	s := g.spec
+	// Quota patterns are charged by instruction count so a probability
+	// means "fraction of the program's µops", independent of group size.
+	switch {
+	case g.due(&g.cntTrap, s.TrapPct):
+		return g.charge(&g.cntTrap, g.trapGroup())
+	case g.due(&g.cntFD, s.FalseDepPct):
+		return g.charge(&g.cntFD, g.falseDepGroup())
+	case g.due(&g.cntAlias, s.AliasPct):
+		return g.charge(&g.cntAlias, g.aliasGroup())
+	case g.due(&g.cntPartial, s.PartialPct):
+		return g.charge(&g.cntPartial, g.partialGroup())
+	}
+	x := g.r.Float64()
+	cum := 0.0
+	pick := func(p float64) bool {
+		cum += p
+		return x < cum
+	}
+	switch {
+	case pick(s.MovePct):
+		return g.moveGroup()
+	case pick(s.SpillPct):
+		return g.spillGroup()
+	case pick(s.InvariantPct * 0.12):
+		return g.invariantRefresh()
+	case pick(s.InvariantPct):
+		return g.invariantGroup()
+	case pick(s.ArrayPct):
+		return g.arrayGroup()
+	case pick(s.ChasePct):
+		return g.chaseGroup()
+	case pick(s.FPPct):
+		return g.fpGroup()
+	case pick(s.MulDivPct):
+		return g.mulDivGroup()
+	default:
+		return g.aluGroup()
+	}
+}
+
+// due implements a running quota over emitted instructions: the pattern
+// fires while its share of the program's µops is below pct. The caller
+// charges the actual instruction count through charge().
+func (g *gen) due(count *int, pct float64) bool {
+	if pct <= 0 {
+		return false
+	}
+	return float64(*count) < pct*float64(g.instrs+1)
+}
+
+// charge adds a quota pattern's emitted instructions to its counter (the
+// caller's block loop accounts the global instruction count).
+func (g *gen) charge(count *int, n int) int {
+	*count += n
+	return n
+}
+
+// consume emits the consumer of a loaded value: on the serial chain with
+// probability LoadOnChainPct (the load's latency then sits on the critical
+// path), otherwise into a dead-end scratch (only issue bandwidth).
+func (g *gen) consume(ld isa.Reg) int {
+	if g.r.Bool(g.spec.LoadOnChainPct) {
+		use := g.nextChain()
+		g.emitALU(program.SInst{
+			Op: isa.ALU, Sem: program.SemXor,
+			Src: [2]isa.Reg{use, ld}, Dest: use, Width: 64,
+		})
+	} else {
+		sink := scratchReg(g.r.Intn(3))
+		g.emitALU(program.SInst{
+			Op: isa.ALU, Sem: program.SemAddImm,
+			Src: [2]isa.Reg{ld, isa.NoReg}, Dest: sink, Imm: 1, Width: 64,
+		})
+	}
+	return 1
+}
+
+// aluGroup: one plain chain operation.
+func (g *gen) aluGroup() int {
+	acc := g.nextChain()
+	sems := []program.Semantic{program.SemAddImm, program.SemMulImm, program.SemXor}
+	sem := sems[g.r.Intn(len(sems))]
+	in := program.SInst{Op: isa.ALU, Sem: sem, Dest: acc, Width: 64}
+	switch sem {
+	case program.SemXor:
+		in.Src = [2]isa.Reg{acc, chainReg(g.r.Intn(6))}
+	case program.SemMulImm:
+		in.Op = isa.ALU // value scrambler but single-cycle class
+		in.Src = [2]isa.Reg{acc, isa.NoReg}
+		in.Imm = 0x9E3779B1
+	default:
+		in.Src = [2]isa.Reg{acc, isa.NoReg}
+		in.Imm = uint64(g.r.Range(1, 255))
+	}
+	g.emitALU(in)
+	return 1
+}
+
+// moveGroup: a reg-reg move, on or off the dependency chain (§2, Fig. 5).
+// About a tenth of moves are 16-bit merge µops, which are architecturally
+// not eliminable and carry a dependence on their old destination value.
+func (g *gen) moveGroup() int {
+	acc := g.nextChain()
+	sc := scratchReg(g.r.Intn(3))
+	width := uint8(64)
+	if g.r.Bool(0.4) {
+		width = 32
+	}
+	if g.r.Bool(0.1) {
+		width = 16
+	}
+	mv := program.SInst{
+		Op: isa.Move, Sem: program.SemMov,
+		Src: [2]isa.Reg{acc, isa.NoReg}, Dest: sc, Width: width,
+	}
+	if width == 16 {
+		mv.Src[1] = sc // merge µop: old destination is a source
+	}
+	g.b.Emit(mv)
+	if g.r.Bool(g.spec.MoveOnChainPct) {
+		// Continue the chain through the moved copy: eliminating the
+		// move removes a cycle from the critical path.
+		g.emitALU(program.SInst{
+			Op: isa.ALU, Sem: program.SemAddImm,
+			Src: [2]isa.Reg{sc, isa.NoReg}, Dest: acc,
+			Imm: uint64(g.r.Range(1, 63)), Width: 64,
+		})
+		return 2
+	}
+	return 1
+}
+
+// spillGroup: the compiler spill/reload pattern SMB targets (§1, §3):
+// produce, store to a stack slot, filler, reload, consume. With
+// ReloadTwicePct a second redundant load forms a load-load pair; with
+// PathDepPct the reload distance depends on a prior branch direction
+// (which the TAGE-like distance predictor can capture but a PC-indexed
+// table cannot).
+func (g *gen) spillGroup() int {
+	s := g.spec
+	acc := g.nextChain()
+	other := g.nextChain()
+	slotOff := uint64(g.slot%64) * 8
+	g.slot++
+	n := 0
+
+	g.emitALU(program.SInst{
+		Op: isa.ALU, Sem: program.SemAddImm,
+		Src: [2]isa.Reg{acc, isa.NoReg}, Dest: acc,
+		Imm: uint64(g.r.Range(1, 127)), Width: 64,
+	})
+	g.b.Emit(program.SInst{
+		Op: isa.Store, Sem: program.SemStore,
+		Src: [2]isa.Reg{acc, isa.NoReg}, AddrReg: rStack, Imm: slotOff, Width: 64,
+	})
+	n += 2
+
+	fill := s.SpillDist
+	if g.r.Bool(s.PathDepPct) {
+		// A data-dependent hop in the middle makes the store→load
+		// distance path-dependent.
+		skip := g.uniqueLabel("sd")
+		g.b.EmitBranchTo(program.SInst{
+			Op: isa.Branch, Kind: isa.BrCond, Cond: program.CondBitSet,
+			Src: [2]isa.Reg{other, isa.NoReg}, Imm: uint64(g.r.Range(3, 40)), Width: 64,
+		}, skip)
+		for i := 0; i < 3; i++ {
+			n += g.aluGroup()
+		}
+		g.b.Label(skip)
+		n++
+	}
+	for i := 0; i < fill; i++ {
+		n += g.aluGroup()
+	}
+
+	ld := scratchReg(g.r.Intn(3))
+	g.b.Emit(program.SInst{
+		Op: isa.Load, Sem: program.SemLoad,
+		Dest: ld, AddrReg: rStack, Imm: slotOff, Width: 64,
+	})
+	n += 1 + g.consume(ld)
+
+	if g.r.Bool(s.ReloadTwicePct) {
+		ld2 := scratchReg(g.r.Intn(3))
+		g.b.Emit(program.SInst{
+			Op: isa.Load, Sem: program.SemLoad,
+			Dest: ld2, AddrReg: rStack, Imm: slotOff, Width: 64,
+		})
+		n += 1 + g.consume(ld2)
+	}
+	return n
+}
+
+// arrayGroup: strided or hashed walks over the array footprint; drives
+// cache behaviour and (for hashed walks) unpredictable load values.
+func (g *gen) arrayGroup() int {
+	s := g.spec
+	n := 0
+	if g.r.Bool(s.StridePct) {
+		g.emitALU(program.SInst{
+			Op: isa.ALU, Sem: program.SemAddImm,
+			Src: [2]isa.Reg{rIdx, isa.NoReg}, Dest: rIdx, Imm: 8, Width: 64,
+		})
+	} else {
+		g.emitALU(program.SInst{
+			Op: isa.ALU, Sem: program.SemMulImm,
+			Src: [2]isa.Reg{rIdx, isa.NoReg}, Dest: rIdx, Imm: 0x2545F4914F6CDD1D, Width: 64,
+		})
+	}
+	g.emitALU(program.SInst{
+		Op: isa.ALU, Sem: program.SemAndImm,
+		Src: [2]isa.Reg{rIdx, isa.NoReg}, Dest: rIdx, Imm: g.mask, Width: 64,
+	})
+	t := scratchReg(g.r.Intn(3))
+	g.emitALU(program.SInst{
+		Op: isa.ALU, Sem: program.SemAdd,
+		Src: [2]isa.Reg{rArr, rIdx}, Dest: t, Width: 64,
+	})
+	n += 3
+	if g.r.Bool(0.25) {
+		acc := g.nextChain()
+		g.b.Emit(program.SInst{
+			Op: isa.Store, Sem: program.SemStore,
+			Src: [2]isa.Reg{acc, isa.NoReg}, AddrReg: t, Imm: 0, Width: 64,
+		})
+		n++
+		return n
+	}
+	ld := scratchReg(g.r.Intn(3))
+	acc := g.nextChain()
+	g.b.Emit(program.SInst{
+		Op: isa.Load, Sem: program.SemLoad,
+		Dest: ld, AddrReg: t, Imm: 0, Width: 64,
+	})
+	g.emitALU(program.SInst{
+		Op: isa.ALU, Sem: program.SemXor,
+		Src: [2]isa.Reg{acc, ld}, Dest: acc, Width: 64,
+	})
+	n += 2
+	return n
+}
+
+// chaseGroup: one pointer-chase step (serialized loads; latency-bound).
+func (g *gen) chaseGroup() int {
+	g.b.Emit(program.SInst{
+		Op: isa.Load, Sem: program.SemLoad,
+		Dest: rChase, AddrReg: rChase, Imm: 0, Width: 64,
+	})
+	return 1
+}
+
+// invariantGroup: a load of a slot that is written only at initialization.
+// The value's original store is ancient, so a store-load distance cannot
+// be encoded — but with load-load bypassing the previous dynamic instance
+// of the same (or a nearby) invariant load is the producer, at a short,
+// stable distance. These are the redundant loads that let "a single
+// register propagate for a longer time" (§3) and the reason store-only
+// bypassing loses so much in the astar/wupwise/applu/bzip/hmmer analogues
+// (§6.2).
+func (g *gen) invariantGroup() int {
+	slotIdx := g.r.Intn(8)
+	use := g.nextChain()
+	reads := 2 + g.r.Intn(2)
+	n := 0
+	for k := 0; k < reads; k++ {
+		ld := scratchReg(g.r.Intn(3))
+		t := scratchReg((g.r.Intn(3) + 1) % 3)
+		// The address depends on the consuming chain (masked to a
+		// constant), so each read's latency sits on the critical path —
+		// exactly the detour that bypassing to the previous instance's
+		// register removes. Consecutive reads of the same slot are a few
+		// µops apart, a distance the predictor captures immediately.
+		g.emitALU(program.SInst{
+			Op: isa.ALU, Sem: program.SemAndImm,
+			Src: [2]isa.Reg{use, isa.NoReg}, Dest: t, Imm: 0, Width: 64,
+		})
+		g.emitALU(program.SInst{
+			Op: isa.ALU, Sem: program.SemAdd,
+			Src: [2]isa.Reg{rStack, t}, Dest: t, Width: 64,
+		})
+		g.b.Emit(program.SInst{
+			Op: isa.Load, Sem: program.SemLoad,
+			Dest: ld, AddrReg: t, Imm: invRegion + uint64(slotIdx)*8, Width: 64,
+		})
+		n += 3 + g.consume(ld)
+	}
+	return n
+}
+
+// invariantRefresh re-stores one invariant slot from a fresh register.
+// This bounds how long one physical register keeps collecting sharers,
+// which is why the paper gets away with 3-bit reference counters (§6.3).
+func (g *gen) invariantRefresh() int {
+	slotIdx := g.r.Intn(8)
+	fresh := scratchReg(g.r.Intn(3))
+	g.emitALU(program.SInst{
+		Op: isa.ALU, Sem: program.SemAddImm,
+		Src: [2]isa.Reg{chainReg(g.r.Intn(6)), isa.NoReg}, Dest: fresh, Imm: 0x51, Width: 64,
+	})
+	g.b.Emit(program.SInst{
+		Op: isa.Store, Sem: program.SemStore,
+		Src: [2]isa.Reg{fresh, isa.NoReg}, AddrReg: rStack,
+		Imm: invRegion + uint64(slotIdx)*8, Width: 64,
+	})
+	return 2
+}
+
+// fpGroup: FP chain work on the xmm registers.
+func (g *gen) fpGroup() int {
+	i := g.r.Intn(8)
+	dst, a, b := fpReg(i), fpReg(i), fpReg(i+1)
+	if g.r.Bool(0.35) {
+		heavy := g.r.Bool(g.spec.DivPct)
+		g.b.Emit(program.SInst{
+			Op: isa.FPMulDiv, Sem: program.SemMulImm, Heavy: heavy,
+			Src: [2]isa.Reg{a, isa.NoReg}, Dest: dst, Imm: 0x9E3779B97F4A7C15, Width: 64,
+		})
+		return 1
+	}
+	g.b.Emit(program.SInst{
+		Op: isa.FP, Sem: program.SemAdd,
+		Src: [2]isa.Reg{a, b}, Dest: dst, Width: 64,
+	})
+	return 1
+}
+
+// mulDivGroup: integer multiply or (heavy) divide.
+func (g *gen) mulDivGroup() int {
+	acc := g.nextChain()
+	heavy := g.r.Bool(g.spec.DivPct)
+	g.b.Emit(program.SInst{
+		Op: isa.MulDiv, Sem: program.SemMulImm, Heavy: heavy,
+		Src: [2]isa.Reg{acc, isa.NoReg}, Dest: acc, Imm: 0xD1B54A32D192ED03, Width: 64,
+	})
+	return 1
+}
+
+// aliasGroup reproduces Figure 1 with a twist that exercises bypass
+// validation: store 1 (through pointer p) always writes X; store 2
+// (through pointer q) writes X or X+8 depending on a slowly-alternating
+// phase bit (bit 5 of the outer counter: 32-iteration runs). The load of X
+// therefore alternates producers on a cadence long enough for the distance
+// predictor to saturate confidence and then mispredict at each phase
+// change — the bypass mispredictions the mgrid-analogue needs (§6.3).
+func (g *gen) aliasGroup() int {
+	off := uint64(g.r.Intn(16)) * 16
+	c1, c2 := g.nextChain(), g.nextChain()
+	sel := scratchReg(g.r.Intn(3))
+	g.emitALU(program.SInst{
+		Op: isa.ALU, Sem: program.SemAddImm,
+		Src: [2]isa.Reg{c1, isa.NoReg}, Dest: c1, Imm: 3, Width: 64,
+	})
+	g.b.Emit(program.SInst{
+		Op: isa.Store, Sem: program.SemStore,
+		Src: [2]isa.Reg{c1, isa.NoReg}, AddrReg: rArr, Imm: off, Width: 64,
+	})
+	// sel = ((outer >> 5) & 1) << 3 : 0 for 32 iterations, 8 for the next 32.
+	g.emitALU(program.SInst{
+		Op: isa.ALU, Sem: program.SemShrImm,
+		Src: [2]isa.Reg{rOuter, isa.NoReg}, Dest: sel, Imm: 5, Width: 64,
+	})
+	g.emitALU(program.SInst{
+		Op: isa.ALU, Sem: program.SemAndImm,
+		Src: [2]isa.Reg{sel, isa.NoReg}, Dest: sel, Imm: 1, Width: 64,
+	})
+	g.emitALU(program.SInst{
+		Op: isa.ALU, Sem: program.SemShl,
+		Src: [2]isa.Reg{sel, isa.NoReg}, Dest: sel, Imm: 3, Width: 64,
+	})
+	g.emitALU(program.SInst{
+		Op: isa.ALU, Sem: program.SemAdd,
+		Src: [2]isa.Reg{rAlias, sel}, Dest: sel, Width: 64,
+	})
+	g.emitALU(program.SInst{
+		Op: isa.ALU, Sem: program.SemAddImm,
+		Src: [2]isa.Reg{c2, isa.NoReg}, Dest: c2, Imm: 7, Width: 64,
+	})
+	g.b.Emit(program.SInst{
+		Op: isa.Store, Sem: program.SemStore,
+		Src: [2]isa.Reg{c2, isa.NoReg}, AddrReg: sel, Imm: off, Width: 64,
+	})
+	ld := scratchReg(g.r.Intn(3))
+	g.b.Emit(program.SInst{
+		Op: isa.Load, Sem: program.SemLoad,
+		Dest: ld, AddrReg: rArr, Imm: off, Width: 64,
+	})
+	return 9 + g.consume(ld)
+}
+
+// farSpan is a straight-line region with exactly controlled store→load
+// distances, creating the geometries behind three of the paper's findings:
+//
+//   - reload 1 sits ~227 µops after the producer: within the 8-bit
+//     distance encoding but beyond the 192-entry ROB, so it can only be
+//     bypassed from a committed instruction (lazy reclaim, §3.3 — the
+//     astar-analogue's gain);
+//   - reload 2 sits ~33 µops after reload 1 but ~260 after the producer:
+//     only load-load bypassing can collapse it (§3 — the store-only
+//     ablation's drop);
+//   - without SMB both reloads pay the full STLF/L1 latency.
+func (g *gen) farSpan(site int) {
+	slot := farRegion + uint64(site%32)*8
+	acc := g.nextChain()
+	g.emitALU(program.SInst{
+		Op: isa.ALU, Sem: program.SemAddImm,
+		Src: [2]isa.Reg{acc, isa.NoReg}, Dest: acc, Imm: 17, Width: 64,
+	})
+	g.b.Emit(program.SInst{
+		Op: isa.Store, Sem: program.SemStore,
+		Src: [2]isa.Reg{acc, isa.NoReg}, AddrReg: rStack, Imm: slot, Width: 64,
+	})
+	for i := 0; i < 225; i++ {
+		g.aluGroup()
+	}
+	ld1 := scratchReg(0)
+	g.b.Emit(program.SInst{
+		Op: isa.Load, Sem: program.SemLoad, Dest: ld1, AddrReg: rStack, Imm: slot, Width: 64,
+	})
+	g.consume(ld1)
+	for i := 0; i < 31; i++ {
+		g.aluGroup()
+	}
+	ld2 := scratchReg(1)
+	g.b.Emit(program.SInst{
+		Op: isa.Load, Sem: program.SemLoad, Dest: ld2, AddrReg: rStack, Imm: slot, Width: 64,
+	})
+	g.consume(ld2)
+}
+
+// Stack-region layout (byte offsets from stackBase): spill slots occupy
+// [0,512), trap sites [512,1024), partial-overlap sites [1536,1792), and
+// false-dependence sites [2048,4096) in 32-byte cells. Keeping the regions
+// disjoint keeps each pattern's memory behaviour self-contained.
+const (
+	trapRegion    = 512
+	farRegion     = 1024
+	invRegion     = 1280
+	partialRegion = 1536
+	fdRegion      = 2048
+)
+
+// trapGroup: a store whose address resolves late (behind a load-headed
+// dependence chain) followed by an early-address load of the same
+// location. Until Store Sets learns the pair, the load issues before the
+// store's address is known and triggers a memory-order violation — the
+// trap events of Figure 4. Each cyclic clearing of the store sets costs
+// one more violation per site. SMB identifies the pair by distance
+// instead and avoids both the trap and the serialization.
+func (g *gen) trapGroup() int {
+	site := g.trapSite % 32
+	g.trapSite++
+	off := trapRegion + uint64(site)*16      // trapped slot
+	priv := trapRegion + uint64(site)*16 + 8 // slow-chain feeder slot
+
+	acc := g.nextChain()
+	sl := scratchReg(g.r.Intn(3))
+	t1 := scratchReg((g.r.Intn(3) + 1) % 3)
+
+	// Slow address chain: load a private slot, mask to zero, add base.
+	g.b.Emit(program.SInst{
+		Op: isa.Load, Sem: program.SemLoad, Dest: sl, AddrReg: rStack, Imm: priv, Width: 64,
+	})
+	g.emitALU(program.SInst{
+		Op: isa.ALU, Sem: program.SemAndImm,
+		Src: [2]isa.Reg{sl, isa.NoReg}, Dest: t1, Imm: 0, Width: 64,
+	})
+	g.emitALU(program.SInst{
+		Op: isa.ALU, Sem: program.SemAdd,
+		Src: [2]isa.Reg{rStack, t1}, Dest: t1, Width: 64,
+	})
+	g.emitALU(program.SInst{
+		Op: isa.ALU, Sem: program.SemAddImm,
+		Src: [2]isa.Reg{acc, isa.NoReg}, Dest: acc, Imm: 11, Width: 64,
+	})
+	g.b.Emit(program.SInst{
+		Op: isa.Store, Sem: program.SemStore,
+		Src: [2]isa.Reg{acc, isa.NoReg}, AddrReg: t1, Imm: off, Width: 64,
+	})
+	ld := scratchReg(g.r.Intn(3))
+	g.b.Emit(program.SInst{
+		Op: isa.Load, Sem: program.SemLoad,
+		Dest: ld, AddrReg: rStack, Imm: off, Width: 64,
+	})
+	return 6 + g.consume(ld)
+}
+
+// falseDepGroup builds a pattern where Store Sets learns an overly
+// conservative dependence. Store A always writes X with a fast, immediate
+// address — it is the real producer the load forwards from. Store B has a
+// slow, flag-dependent address: on the first outer iteration it also
+// writes X (after A), so the early-issuing load violates against B and
+// Store Sets puts {load, B} in one set; on every later iteration B writes
+// Y ≠ X, yet the load keeps waiting for it — a false dependency (Fig. 4).
+// The DDT-identified distance (to A's producer) is constant, so SMB
+// removes the stall (§3.1, Fig. 6b).
+func (g *gen) falseDepGroup() int {
+	base := fdRegion + uint64(g.fdSite%64)*32 // X = base, Y = base+8
+	flag := base + 24
+	g.fdSite++
+	cb := g.nextChain()
+	f := scratchReg(0)
+	ca := scratchReg(1)
+	t := scratchReg(2)
+
+	// Store A: the real producer of X. Its data comes off the (always
+	// ready) outer counter so A executes early and forwards cleanly —
+	// it must never violate and join the store set itself.
+	g.emitALU(program.SInst{
+		Op: isa.ALU, Sem: program.SemAddImm,
+		Src: [2]isa.Reg{rOuter, isa.NoReg}, Dest: ca, Imm: base, Width: 64,
+	})
+	g.b.Emit(program.SInst{
+		Op: isa.Store, Sem: program.SemStore,
+		Src: [2]isa.Reg{ca, isa.NoReg}, AddrReg: rStack, Imm: base, Width: 64,
+	})
+	// f = firstRun ? 0 : 1 (flag slot, slow: heads store B's address chain).
+	g.b.Emit(program.SInst{
+		Op: isa.Load, Sem: program.SemLoad, Dest: f, AddrReg: rStack, Imm: flag, Width: 64,
+	})
+	// t = rStack + (f << 3): B writes X on the first run, Y afterwards.
+	g.emitALU(program.SInst{
+		Op: isa.ALU, Sem: program.SemShl,
+		Src: [2]isa.Reg{f, isa.NoReg}, Dest: t, Imm: 3, Width: 64,
+	})
+	g.emitALU(program.SInst{
+		Op: isa.ALU, Sem: program.SemAdd,
+		Src: [2]isa.Reg{rStack, t}, Dest: t, Width: 64,
+	})
+	g.emitALU(program.SInst{
+		Op: isa.ALU, Sem: program.SemAddImm,
+		Src: [2]isa.Reg{cb, isa.NoReg}, Dest: cb, Imm: 9, Width: 64,
+	})
+	g.b.Emit(program.SInst{
+		Op: isa.Store, Sem: program.SemStore,
+		Src: [2]isa.Reg{cb, isa.NoReg}, AddrReg: t, Imm: base, Width: 64,
+	})
+	// Set the flag for the next iteration.
+	g.emitALU(program.SInst{
+		Op: isa.ALU, Sem: program.SemMovImm, Dest: f, Imm: 1, Width: 64,
+	})
+	g.b.Emit(program.SInst{
+		Op: isa.Store, Sem: program.SemStore,
+		Src: [2]isa.Reg{f, isa.NoReg}, AddrReg: rStack, Imm: flag, Width: 64,
+	})
+	// The load always reads X (fed by A after the first iteration).
+	ld := scratchReg(1)
+	g.b.Emit(program.SInst{
+		Op: isa.Load, Sem: program.SemLoad, Dest: ld, AddrReg: rStack, Imm: base, Width: 64,
+	})
+	return 10 + g.consume(ld)
+}
+
+// partialGroup: a 32-bit store followed by a 64-bit load of the same
+// word — not contained, so the load must wait for the store's writeback
+// (Table 1's STLF rule) and SMB is the only way to hide it.
+func (g *gen) partialGroup() int {
+	off := partialRegion + uint64(g.partialSite%32)*8
+	g.partialSite++
+	acc := g.nextChain()
+	g.emitALU(program.SInst{
+		Op: isa.ALU, Sem: program.SemAddImm,
+		Src: [2]isa.Reg{acc, isa.NoReg}, Dest: acc, Imm: 21, Width: 64,
+	})
+	g.b.Emit(program.SInst{
+		Op: isa.Store, Sem: program.SemStore,
+		Src: [2]isa.Reg{acc, isa.NoReg}, AddrReg: rStack, Imm: off, Width: 32,
+	})
+	ld := scratchReg(g.r.Intn(3))
+	g.b.Emit(program.SInst{
+		Op: isa.Load, Sem: program.SemLoad, Dest: ld, AddrReg: rStack, Imm: off, Width: 64,
+	})
+	return 3 + g.consume(ld)
+}
+
+// condHop: a short forward hop guarded by either a loop-like predictable
+// condition or a data-dependent ~50/50 one. Hard hops are emitted on a
+// running quota so every benchmark realizes its configured
+// HardBranchPct even with few static sites.
+func (g *gen) condHop() int {
+	skip := g.uniqueLabel("hop")
+	g.hops++
+	hard := float64(g.hardHops) < g.spec.HardBranchPct*float64(g.hops)
+	br := program.SInst{Op: isa.Branch, Kind: isa.BrCond, Width: 64}
+	n := 0
+	if hard {
+		g.hardHops++
+		// Scramble a chain value so the tested bit is effectively
+		// random (but deterministic) — a ~50/50 data-dependent branch.
+		t := scratchReg(g.r.Intn(3))
+		g.emitALU(program.SInst{
+			Op: isa.ALU, Sem: program.SemMulImm,
+			Src: [2]isa.Reg{g.nextChain(), isa.NoReg}, Dest: t,
+			Imm: 0xFF51AFD7ED558CCD, Width: 64,
+		})
+		n++
+		br.Cond = program.CondBitSet
+		br.Src = [2]isa.Reg{t, isa.NoReg}
+		br.Imm = uint64(g.r.Range(40, 60))
+	} else {
+		br.Cond = program.CondNEImm
+		br.Src = [2]isa.Reg{rOuter, isa.NoReg}
+		br.Imm = 0 // almost always taken after warmup
+	}
+	g.b.EmitBranchTo(br, skip)
+	n++
+	body := g.r.Range(2, 4)
+	for i := 0; i < body; i++ {
+		n += g.aluGroup()
+	}
+	g.b.Label(skip)
+	return n
+}
+
+func leafLabel(i int) string {
+	if i == 0 {
+		return "leaf0"
+	}
+	return "leaf1"
+}
+
+// leafFunctions emits two small callable functions (RAS exercise).
+func (g *gen) leafFunctions() {
+	for i := 0; i < 2; i++ {
+		g.b.Label(leafLabel(i))
+		for k := 0; k < 3+i*2; k++ {
+			g.aluGroup()
+		}
+		g.b.Emit(program.SInst{
+			Op: isa.Branch, Kind: isa.BrRet, Cond: program.CondAlways,
+			Src: [2]isa.Reg{rOuter, isa.NoReg}, Width: 64,
+		})
+	}
+}

@@ -1,0 +1,197 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/program"
+)
+
+// Catalog returns the 36 benchmark specs: 18 integer and 18 floating-point
+// analogues of the paper's SPEC CPU2000/2006 subset (§5.2). Parameters are
+// chosen so the per-benchmark stories the paper tells hold qualitatively:
+//
+//   - crafty: move-rich with moves on the critical chain (top ME gainer);
+//   - vortex: even more moves but off-chain (high elimination rate, little
+//     gain — §6.1's "does not correlate" example);
+//   - namd: few moves, but all on a serial FP-adjacent chain (low rate,
+//     high gain);
+//   - astar: spill/reload-dominated with accurate Store Sets (SMB gains
+//     come purely from hiding the STLF latency; lazy reclaim helps);
+//   - hmmer: false-dependence- and trap-rich, DDT-capacity-sensitive;
+//   - wupwise/applu: load-load-dependent FP codes with big SMB gains;
+//   - mgrid: alias-heavy (bypass mispredictions; a small ISRB filters
+//     some of them);
+//   - gamess/gromacs: trap/false-dep reductions drive SMB gains.
+func Catalog() []Spec {
+	return []Spec{
+		// ----- integer suite -----
+		{Name: "gzip", MovePct: 0.08, MoveOnChainPct: 0.4, SpillPct: 0.05, SpillDist: 5,
+			ArrayPct: 0.18, StridePct: 0.7, FootprintKB: 64, BranchPct: 0.5, HardBranchPct: 0.25,
+			ILP: 3, InnerTripA: 12, InnerTripB: 6},
+		{Name: "vpr", MovePct: 0.06, MoveOnChainPct: 0.5, SpillPct: 0.10, SpillDist: 5,
+			ArrayPct: 0.15, StridePct: 0.3, FootprintKB: 256, BranchPct: 0.6, HardBranchPct: 0.45,
+			ILP: 2, ChasePct: 0.02, ChaseNodes: 1024},
+		{Name: "gcc", MovePct: 0.10, MoveOnChainPct: 0.4, SpillPct: 0.14, SpillDist: 4,
+			PathDepPct: 0.2, ArrayPct: 0.10, StridePct: 0.5, FootprintKB: 256,
+			BranchPct: 0.7, HardBranchPct: 0.35, CallPct: 0.25, ILP: 3, Blocks: 10},
+		{Name: "mcf", MovePct: 0.03, MoveOnChainPct: 0.3, SpillPct: 0.05, SpillDist: 6,
+			ChasePct: 0.12, ChaseNodes: 65536, ArrayPct: 0.10, StridePct: 0.1,
+			FootprintKB: 4096, BranchPct: 0.5, HardBranchPct: 0.5, ILP: 2},
+		{Name: "crafty", MovePct: 0.22, MoveOnChainPct: 0.95, SpillPct: 0.04, SpillDist: 6,
+			ArrayPct: 0.10, StridePct: 0.5, FootprintKB: 32, BranchPct: 0.55, HardBranchPct: 0.2,
+			ILP: 1, MulDivPct: 0.03, InnerTripA: 16},
+		{Name: "parser", MovePct: 0.07, MoveOnChainPct: 0.4, SpillPct: 0.08, SpillDist: 6,
+			PathDepPct: 0.4, ArrayPct: 0.10, StridePct: 0.3, FootprintKB: 128,
+			BranchPct: 0.7, HardBranchPct: 0.4, CallPct: 0.2, ILP: 2},
+		{Name: "eon", MovePct: 0.09, MoveOnChainPct: 0.5, SpillPct: 0.10, SpillDist: 4,
+			FPPct: 0.15, ArrayPct: 0.10, StridePct: 0.8, FootprintKB: 32,
+			BranchPct: 0.4, HardBranchPct: 0.15, CallPct: 0.3, ILP: 3},
+		{Name: "perlbmk", MovePct: 0.11, MoveOnChainPct: 0.35, SpillPct: 0.12, SpillDist: 4,
+			PathDepPct: 0.35, ArrayPct: 0.08, StridePct: 0.4, FootprintKB: 128,
+			BranchPct: 0.75, HardBranchPct: 0.3, CallPct: 0.35, ILP: 2, Blocks: 9},
+		{Name: "gap", MovePct: 0.07, MoveOnChainPct: 0.45, SpillPct: 0.10, SpillDist: 4,
+			ArrayPct: 0.14, StridePct: 0.6, FootprintKB: 256, MulDivPct: 0.05,
+			BranchPct: 0.45, HardBranchPct: 0.25, ILP: 3},
+		{Name: "vortex", MovePct: 0.22, MoveOnChainPct: 0.05, SpillPct: 0.10, SpillDist: 4,
+			ArrayPct: 0.10, StridePct: 0.6, FootprintKB: 128, BranchPct: 0.5, HardBranchPct: 0.15,
+			ILP: 5, CallPct: 0.25},
+		{Name: "bzip", MovePct: 0.06, MoveOnChainPct: 0.4, SpillPct: 0.16, SpillDist: 4,
+			ReloadTwicePct: 0.5, FarSpillPct: 0.25, InvariantPct: 0.12, LoadOnChainPct: 0.55, TrapPct: 0.015, FalseDepPct: 0.02, ArrayPct: 0.15,
+			StridePct: 0.5, FootprintKB: 256, BranchPct: 0.55, HardBranchPct: 0.35, ILP: 3},
+		{Name: "twolf", MovePct: 0.05, MoveOnChainPct: 0.5, SpillPct: 0.08, SpillDist: 5,
+			ArrayPct: 0.12, StridePct: 0.2, FootprintKB: 512, BranchPct: 0.6, HardBranchPct: 0.45,
+			ILP: 2, ChasePct: 0.03, ChaseNodes: 4096},
+		{Name: "gobmk", MovePct: 0.08, MoveOnChainPct: 0.45, SpillPct: 0.11, SpillDist: 4,
+			PathDepPct: 0.3, ArrayPct: 0.10, StridePct: 0.4, FootprintKB: 128,
+			BranchPct: 0.75, HardBranchPct: 0.5, CallPct: 0.3, ILP: 2, Blocks: 9},
+		{Name: "hmmer", MovePct: 0.05, MoveOnChainPct: 0.4, SpillPct: 0.10, SpillDist: 5,
+			ReloadTwicePct: 0.35, FarSpillPct: 0.125, InvariantPct: 0.06, TrapPct: 0.03, FalseDepPct: 0.06, AliasPct: 0.02,
+			ArrayPct: 0.16, StridePct: 0.6, FootprintKB: 64, BranchPct: 0.35,
+			HardBranchPct: 0.1, ILP: 4, InnerTripA: 24},
+		{Name: "sjeng", MovePct: 0.09, MoveOnChainPct: 0.5, SpillPct: 0.09, SpillDist: 4,
+			ArrayPct: 0.10, StridePct: 0.3, FootprintKB: 256, BranchPct: 0.7, HardBranchPct: 0.45,
+			CallPct: 0.25, ILP: 2},
+		{Name: "libquantum", MovePct: 0.03, MoveOnChainPct: 0.3, SpillPct: 0.04, SpillDist: 5,
+			ArrayPct: 0.30, StridePct: 0.95, FootprintKB: 8192, BranchPct: 0.3,
+			HardBranchPct: 0.05, ILP: 4, InnerTripA: 64},
+		{Name: "h264ref", MovePct: 0.10, MoveOnChainPct: 0.55, SpillPct: 0.12, SpillDist: 3,
+			ReloadTwicePct: 0.3, InvariantPct: 0.06, ArrayPct: 0.18, StridePct: 0.8, FootprintKB: 128,
+			BranchPct: 0.4, HardBranchPct: 0.2, MulDivPct: 0.04, ILP: 3, InnerTripA: 16},
+		{Name: "astar", MovePct: 0.04, MoveOnChainPct: 0.4, SpillPct: 0.06, SpillDist: 2,
+			ReloadTwicePct: 0.55, FarSpillPct: 0.5, InvariantPct: 0.18, LoadOnChainPct: 0.7, ArrayPct: 0.08, StridePct: 0.3,
+			FootprintKB: 512, BranchPct: 0.5, HardBranchPct: 0.3, ILP: 2,
+			ChasePct: 0.02, ChaseNodes: 2048},
+
+		// ----- floating-point suite -----
+		{Name: "wupwise", FP: true, FPPct: 0.30, MovePct: 0.04, MoveOnChainPct: 0.5,
+			SpillPct: 0.10, SpillDist: 5, ReloadTwicePct: 0.5, FarSpillPct: 0.125, InvariantPct: 0.10, TrapPct: 0.02, FalseDepPct: 0.03,
+			ArrayPct: 0.12, StridePct: 0.8, FootprintKB: 256, BranchPct: 0.25,
+			HardBranchPct: 0.05, ILP: 3, InnerTripA: 32},
+		{Name: "swim", FP: true, FPPct: 0.35, MovePct: 0.02, MoveOnChainPct: 0.3,
+			SpillPct: 0.06, SpillDist: 5, ArrayPct: 0.30, StridePct: 0.95, FootprintKB: 8192,
+			BranchPct: 0.2, HardBranchPct: 0.05, ILP: 4, InnerTripA: 64},
+		{Name: "mgrid", FP: true, FPPct: 0.32, MovePct: 0.03, MoveOnChainPct: 0.4,
+			SpillPct: 0.12, SpillDist: 4, AliasPct: 0.08, ArrayPct: 0.25, StridePct: 0.9,
+			FootprintKB: 2048, BranchPct: 0.2, HardBranchPct: 0.05, ILP: 3, InnerTripA: 48},
+		{Name: "applu", FP: true, FPPct: 0.28, MovePct: 0.03, MoveOnChainPct: 0.4,
+			SpillPct: 0.14, SpillDist: 4, ReloadTwicePct: 0.6, FarSpillPct: 0.25, InvariantPct: 0.13, LoadOnChainPct: 0.4, TrapPct: 0.02, FalseDepPct: 0.04,
+			ArrayPct: 0.14, StridePct: 0.85, FootprintKB: 1024, BranchPct: 0.2,
+			HardBranchPct: 0.05, ILP: 2, InnerTripA: 40},
+		{Name: "mesa", FP: true, FPPct: 0.25, MovePct: 0.08, MoveOnChainPct: 0.5,
+			SpillPct: 0.10, SpillDist: 4, ArrayPct: 0.15, StridePct: 0.7, FootprintKB: 128,
+			BranchPct: 0.35, HardBranchPct: 0.15, CallPct: 0.2, ILP: 3},
+		{Name: "galgel", FP: true, FPPct: 0.35, MovePct: 0.03, MoveOnChainPct: 0.4,
+			SpillPct: 0.10, SpillDist: 4, ArrayPct: 0.22, StridePct: 0.85, FootprintKB: 512,
+			BranchPct: 0.2, HardBranchPct: 0.1, ILP: 4, InnerTripA: 32},
+		{Name: "art", FP: true, FPPct: 0.25, MovePct: 0.02, MoveOnChainPct: 0.3,
+			SpillPct: 0.05, SpillDist: 5, ArrayPct: 0.30, StridePct: 0.5, FootprintKB: 4096,
+			BranchPct: 0.3, HardBranchPct: 0.2, ILP: 2, InnerTripA: 24},
+		{Name: "equake", FP: true, FPPct: 0.28, MovePct: 0.04, MoveOnChainPct: 0.4,
+			SpillPct: 0.10, SpillDist: 4, ArrayPct: 0.20, StridePct: 0.4, FootprintKB: 2048,
+			BranchPct: 0.3, HardBranchPct: 0.2, ILP: 2, ChasePct: 0.03, ChaseNodes: 8192},
+		{Name: "gamess", FP: true, FPPct: 0.30, MovePct: 0.05, MoveOnChainPct: 0.5,
+			SpillPct: 0.16, SpillDist: 4, ReloadTwicePct: 0.4, TrapPct: 0.025, FalseDepPct: 0.05,
+			ArrayPct: 0.10, StridePct: 0.7, FootprintKB: 128, BranchPct: 0.3,
+			HardBranchPct: 0.1, CallPct: 0.15, ILP: 3, InnerTripA: 20},
+		{Name: "gromacs", FP: true, FPPct: 0.30, MovePct: 0.04, MoveOnChainPct: 0.5,
+			SpillPct: 0.10, SpillDist: 4, ReloadTwicePct: 0.3, LoadOnChainPct: 0.6, TrapPct: 0.03, FalseDepPct: 0.045,
+			ArrayPct: 0.12, StridePct: 0.75, FootprintKB: 256, BranchPct: 0.3,
+			HardBranchPct: 0.1, ILP: 3, InnerTripA: 24},
+		{Name: "ammp", FP: true, FPPct: 0.30, MovePct: 0.03, MoveOnChainPct: 0.4,
+			SpillPct: 0.08, SpillDist: 5, ArrayPct: 0.18, StridePct: 0.3, FootprintKB: 1024,
+			BranchPct: 0.3, HardBranchPct: 0.25, ILP: 2, ChasePct: 0.04, ChaseNodes: 16384},
+		{Name: "lucas", FP: true, FPPct: 0.38, MovePct: 0.02, MoveOnChainPct: 0.3,
+			SpillPct: 0.08, SpillDist: 4, ArrayPct: 0.20, StridePct: 0.9, FootprintKB: 4096,
+			BranchPct: 0.15, HardBranchPct: 0.05, ILP: 4, InnerTripA: 56},
+		{Name: "fma3d", FP: true, FPPct: 0.30, MovePct: 0.05, MoveOnChainPct: 0.45,
+			SpillPct: 0.10, SpillDist: 5, PathDepPct: 0.12, ArrayPct: 0.12, StridePct: 0.7,
+			FootprintKB: 128, BranchPct: 0.35, HardBranchPct: 0.2, CallPct: 0.2, ILP: 3},
+		{Name: "namd", FP: true, FPPct: 0.18, MovePct: 0.07, MoveOnChainPct: 1.0,
+			SpillPct: 0.08, SpillDist: 4, ArrayPct: 0.12, StridePct: 0.8, FootprintKB: 64,
+			BranchPct: 0.2, HardBranchPct: 0.05, ILP: 1, MulDivPct: 0.04, InnerTripA: 24},
+		{Name: "milc", FP: true, FPPct: 0.32, MovePct: 0.03, MoveOnChainPct: 0.4,
+			SpillPct: 0.09, SpillDist: 4, ArrayPct: 0.22, StridePct: 0.8, FootprintKB: 4096,
+			BranchPct: 0.2, HardBranchPct: 0.1, ILP: 3, InnerTripA: 32},
+		{Name: "zeusmp", FP: true, FPPct: 0.30, MovePct: 0.04, MoveOnChainPct: 0.4,
+			SpillPct: 0.06, SpillDist: 5, ReloadTwicePct: 0.25, InvariantPct: 0.04, LoadOnChainPct: 0.5, ArrayPct: 0.18, StridePct: 0.85,
+			FootprintKB: 1024, BranchPct: 0.2, HardBranchPct: 0.05, ILP: 3, InnerTripA: 40},
+		{Name: "cactusADM", FP: true, FPPct: 0.34, MovePct: 0.03, MoveOnChainPct: 0.4,
+			SpillPct: 0.13, SpillDist: 5, PathDepPct: 0.2, ArrayPct: 0.16, StridePct: 0.8,
+			FootprintKB: 2048, BranchPct: 0.15, HardBranchPct: 0.05, ILP: 2, InnerTripA: 48,
+			DivPct: 0.15},
+		{Name: "lbm", FP: true, FPPct: 0.30, MovePct: 0.02, MoveOnChainPct: 0.3,
+			SpillPct: 0.05, SpillDist: 5, ArrayPct: 0.32, StridePct: 0.95, FootprintKB: 8192,
+			BranchPct: 0.1, HardBranchPct: 0.05, ILP: 4, InnerTripA: 64},
+	}
+}
+
+// Names returns the catalog's benchmark names, integer suite first.
+func Names() []string {
+	specs := Catalog()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// IntNames and FPNames split the catalog as the paper's figures do.
+func IntNames() []string { return filterNames(false) }
+
+// FPNames returns the floating-point suite's names.
+func FPNames() []string { return filterNames(true) }
+
+func filterNames(fp bool) []string {
+	var names []string
+	for _, s := range Catalog() {
+		if s.FP == fp {
+			names = append(names, s.Name)
+		}
+	}
+	return names
+}
+
+// ByName returns the spec for a benchmark.
+func ByName(name string) (Spec, error) {
+	for _, s := range Catalog() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	var known []string
+	for _, s := range Catalog() {
+		known = append(known, s.Name)
+	}
+	sort.Strings(known)
+	return Spec{}, fmt.Errorf("workloads: unknown benchmark %q (known: %v)", name, known)
+}
+
+// MustProgram builds the program for a benchmark name.
+func MustProgram(name string) *program.Program {
+	s, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return Build(s)
+}

@@ -1,0 +1,166 @@
+// Package regshare is the public API of the reproduction of "Cost
+// Effective Physical Register Sharing" (Perais & Seznec, HPCA 2016).
+//
+// It exposes the cycle-level out-of-order core of Table 1, the paper's two
+// register-sharing optimizations (Move Elimination and Speculative Memory
+// Bypassing), the reference-counting schemes of §4 (ISRB, ideal counters,
+// per-register counters, MIT, RDA), and the 36 synthetic SPEC-analogue
+// workloads used by every experiment.
+//
+// Quick start:
+//
+//	cfg := regshare.Combined(24) // ME + SMB over a 24-entry ISRB
+//	res, err := regshare.Run(regshare.RunSpec{
+//		Benchmark: "crafty",
+//		Config:    cfg,
+//		Warmup:    50_000,
+//		Measure:   200_000,
+//	})
+//	fmt.Println(res.Stats.IPC())
+package regshare
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/smb"
+	"repro/internal/workloads"
+)
+
+// Config aliases the core machine configuration (Table 1).
+type Config = core.Config
+
+// Stats aliases the per-run statistics.
+type Stats = core.Stats
+
+// DefaultWarmup and DefaultMeasure are the run lengths used by the
+// experiment harness: the paper simulates 50M warmup + 100M measured
+// instructions; the synthetic workloads reach steady state far sooner, so
+// the harness uses proportionally smaller regions.
+const (
+	DefaultWarmup  = 50_000
+	DefaultMeasure = 200_000
+)
+
+// Baseline returns the Figure 4 baseline: Table 1, no sharing.
+func Baseline() Config { return core.DefaultConfig() }
+
+// WithME enables Move Elimination over an ISRB with the given entry count
+// (entries <= 0 selects the unlimited ideal tracker), as in Figure 5.
+func WithME(entries int) Config {
+	cfg := core.DefaultConfig()
+	cfg.ME.Enabled = true
+	applyTracker(&cfg, entries)
+	return cfg
+}
+
+// WithSMB enables Speculative Memory Bypassing (store-load + load-load,
+// TAGE-like distance predictor, unlimited DDT) over an ISRB with the given
+// entry count (<= 0: unlimited tracker), as in Figure 6a.
+func WithSMB(entries int) Config {
+	cfg := core.DefaultConfig()
+	cfg.SMB.Enabled = true
+	applyTracker(&cfg, entries)
+	return cfg
+}
+
+// Combined enables both ME and SMB (Figure 7).
+func Combined(entries int) Config {
+	cfg := core.DefaultConfig()
+	cfg.ME.Enabled = true
+	cfg.SMB.Enabled = true
+	applyTracker(&cfg, entries)
+	return cfg
+}
+
+func applyTracker(cfg *Config, entries int) {
+	if entries <= 0 {
+		cfg.Tracker = core.TrackerConfig{Kind: core.TrackerUnlimited}
+		return
+	}
+	cfg.Tracker = core.TrackerConfig{Kind: core.TrackerISRB, Entries: entries, CounterBits: 3}
+}
+
+// UseNoSQPredictor switches SMB to the NoSQ-style two-table distance
+// predictor (§3.1's baseline).
+func UseNoSQPredictor(cfg Config) Config {
+	cfg.SMB.Predictor = core.DistanceNoSQ
+	return cfg
+}
+
+// UseRealisticDDT switches the DDT from the unlimited modelling device to
+// the paper's 1K-entry, 5-bit-tag table (§3.1).
+func UseRealisticDDT(cfg Config) Config {
+	cfg.SMB.DDT = smb.DDTConfig{Entries: 1024, TagBits: 5}
+	return cfg
+}
+
+// UseLargeDDT selects the paper's 16K-entry, 14-bit-tag design point.
+func UseLargeDDT(cfg Config) Config {
+	cfg.SMB.DDT = smb.DDTConfig{Entries: 16384, TagBits: 14}
+	return cfg
+}
+
+// StoreOnly disables load-load bypassing (the §6.2 ablation).
+func StoreOnly(cfg Config) Config {
+	cfg.SMB.LoadLoad = false
+	return cfg
+}
+
+// WithLazyReclaim enables bypassing from committed instructions with lazy
+// register reclaiming (§3.3 / Figure 6c).
+func WithLazyReclaim(cfg Config) Config {
+	cfg.SMB.BypassCommitted = true
+	return cfg
+}
+
+// RunSpec names one simulation.
+type RunSpec struct {
+	Benchmark string
+	Config    Config
+	Warmup    uint64
+	Measure   uint64
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	Benchmark string
+	Stats     *Stats
+	Core      *core.Core
+}
+
+// Run builds the benchmark program and simulates it.
+func Run(spec RunSpec) (*Result, error) {
+	ws, err := workloads.ByName(spec.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Warmup == 0 {
+		spec.Warmup = DefaultWarmup
+	}
+	if spec.Measure == 0 {
+		spec.Measure = DefaultMeasure
+	}
+	prog := workloads.Build(ws)
+	c := core.New(spec.Config, prog)
+	stats := c.Run(spec.Warmup, spec.Measure)
+	return &Result{Benchmark: spec.Benchmark, Stats: stats, Core: c}, nil
+}
+
+// MustRun is Run for harness code where a config error is a bug.
+func MustRun(spec RunSpec) *Result {
+	r, err := Run(spec)
+	if err != nil {
+		panic(fmt.Sprintf("regshare: %v", err))
+	}
+	return r
+}
+
+// Benchmarks lists the 36 workload names (integer suite first).
+func Benchmarks() []string { return workloads.Names() }
+
+// IntBenchmarks lists the integer suite.
+func IntBenchmarks() []string { return workloads.IntNames() }
+
+// FPBenchmarks lists the floating-point suite.
+func FPBenchmarks() []string { return workloads.FPNames() }

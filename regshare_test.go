@@ -1,0 +1,53 @@
+package regshare
+
+import "testing"
+
+func TestQuickstartAPI(t *testing.T) {
+	r, err := Run(RunSpec{Benchmark: "crafty", Config: Baseline(), Warmup: 2000, Measure: 15000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Committed < 15000 || r.Stats.IPC() <= 0 {
+		t.Fatalf("bad result: committed=%d ipc=%v", r.Stats.Committed, r.Stats.IPC())
+	}
+}
+
+func TestRunUnknownBenchmark(t *testing.T) {
+	if _, err := Run(RunSpec{Benchmark: "nope", Config: Baseline()}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestConfigBuilders(t *testing.T) {
+	if !WithME(16).ME.Enabled {
+		t.Fatal("WithME did not enable ME")
+	}
+	if !WithSMB(24).SMB.Enabled {
+		t.Fatal("WithSMB did not enable SMB")
+	}
+	c := Combined(32)
+	if !c.ME.Enabled || !c.SMB.Enabled {
+		t.Fatal("Combined missing a mechanism")
+	}
+	if !WithLazyReclaim(c).SMB.BypassCommitted {
+		t.Fatal("WithLazyReclaim did not set BypassCommitted")
+	}
+	if StoreOnly(c).SMB.LoadLoad {
+		t.Fatal("StoreOnly left load-load on")
+	}
+	if UseRealisticDDT(c).SMB.DDT.Entries != 1024 {
+		t.Fatal("UseRealisticDDT wrong size")
+	}
+	if UseLargeDDT(c).SMB.DDT.Entries != 16384 {
+		t.Fatal("UseLargeDDT wrong size")
+	}
+}
+
+func TestBenchmarkLists(t *testing.T) {
+	if len(Benchmarks()) != 36 {
+		t.Fatalf("benchmarks = %d, want 36", len(Benchmarks()))
+	}
+	if len(IntBenchmarks())+len(FPBenchmarks()) != 36 {
+		t.Fatal("suite split broken")
+	}
+}
