@@ -11,8 +11,10 @@ package regshare
 //
 //	go test -bench=. -benchmem
 //
-// A shared session caches simulation results, so repeated benchmark
-// iterations after the first are nearly free.
+// All simulations flow through the shared internal/sim runner (via the
+// experiments session and regshare.Run), which deduplicates and caches
+// results, so repeated benchmark iterations after the first are nearly
+// free.
 
 import (
 	"sync"

@@ -9,6 +9,7 @@
 //	paperfigs                 # everything
 //	paperfigs -exp fig6a      # one experiment
 //	paperfigs -measure 300000 # longer runs
+//	paperfigs -cachedir .simcache  # reuse simulations across invocations
 package main
 
 import (
@@ -19,17 +20,20 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/sim"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|fig4|fig5a|fig5b|fig6a|fig6b|fig6c|fig7|ddt|storeonly|cwidth|ports|rob512|singlebit|disthist|trackers|storage|all")
-		warmup  = flag.Uint64("warmup", experiments.DefaultRunLengths.Warmup, "warmup instructions per run")
-		measure = flag.Uint64("measure", experiments.DefaultRunLengths.Measure, "measured instructions per run")
+		exp      = flag.String("exp", "all", "experiment: table1|fig4|fig5a|fig5b|fig6a|fig6b|fig6c|fig7|ddt|storeonly|cwidth|ports|rob512|singlebit|disthist|trackers|storage|all")
+		warmup   = flag.Uint64("warmup", experiments.DefaultRunLengths.Warmup, "warmup instructions per run")
+		measure  = flag.Uint64("measure", experiments.DefaultRunLengths.Measure, "measured instructions per run")
+		cachedir = flag.String("cachedir", "", "directory for the on-disk result cache (empty: off)")
 	)
 	flag.Parse()
 
-	s := experiments.NewSession(experiments.RunLengths{Warmup: *warmup, Measure: *measure})
+	runner := sim.New(sim.WithCacheDir(*cachedir))
+	s := experiments.NewSessionWith(experiments.RunLengths{Warmup: *warmup, Measure: *measure}, runner)
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	start := time.Now()
 
@@ -102,5 +106,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (known: %s)\n", *exp, known)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "total time: %v\n", time.Since(start).Round(time.Millisecond))
+	c := runner.Counters()
+	fmt.Fprintf(os.Stderr, "total time: %v (%d simulated, %d deduplicated, %d from disk cache)\n",
+		time.Since(start).Round(time.Millisecond), c.Simulated, c.MemHits, c.DiskHits)
 }

@@ -1,5 +1,8 @@
 // Command regsim runs one benchmark on one machine configuration and
-// prints the run's statistics.
+// prints the run's statistics. Plain runs go through the shared
+// internal/sim runner (so -cachedir reuses results across invocations);
+// -trace drives the core directly because tracing needs the live
+// pipeline.
 //
 // Usage:
 //
@@ -13,6 +16,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/sim"
 	"repro/internal/smb"
 	"repro/internal/workloads"
 )
@@ -35,6 +39,7 @@ func main() {
 		verbose   = flag.Bool("v", false, "print extended statistics")
 		trace     = flag.Uint64("trace", 0, "print a pipeline trace for the first N cycles of measurement")
 		jsonOut   = flag.Bool("json", false, "emit statistics as JSON")
+		cachedir  = flag.String("cachedir", "", "directory for the on-disk result cache (empty: off)")
 	)
 	flag.Parse()
 
@@ -43,12 +48,6 @@ func main() {
 			fmt.Println(n)
 		}
 		return
-	}
-
-	spec, err := workloads.ByName(*bench)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
 	}
 
 	cfg := core.DefaultConfig()
@@ -68,19 +67,19 @@ func main() {
 		CounterBits: *ctrBits,
 	}
 
-	prog := workloads.Build(spec)
-	c := core.New(cfg, prog)
+	var res *sim.Result
 	if *trace > 0 {
-		// Warm up untraced, then trace the first N cycles.
-		c.Run(*warmup, 1)
-		c.AttachTracer(&core.TextTracer{W: os.Stderr})
-		for i := uint64(0); i < *trace; i++ {
-			c.Cycle()
+		res = traceRun(cfg, *bench, *warmup, *measure, *trace)
+	} else {
+		runner := sim.New(sim.WithCacheDir(*cachedir))
+		var err error
+		res, err = runner.Run(sim.Request{Bench: *bench, Config: cfg, Warmup: *warmup, Measure: *measure})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
-		c.AttachTracer(nil)
-		*warmup = 0
 	}
-	st := c.Run(*warmup, *measure)
+	st := &res.S
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -92,8 +91,8 @@ func main() {
 		return
 	}
 
-	fmt.Printf("benchmark      %s (%d static µops)\n", spec.Name, prog.NumInsts())
-	fmt.Printf("tracker        %s\n", c.Tracker().Name())
+	fmt.Printf("benchmark      %s (%d static µops)\n", res.Bench, res.StaticUops)
+	fmt.Printf("tracker        %s\n", res.TrackerName)
 	fmt.Printf("cycles         %d\n", st.Cycles)
 	fmt.Printf("committed      %d\n", st.Committed)
 	fmt.Printf("IPC            %.3f\n", st.IPC())
@@ -110,7 +109,7 @@ func main() {
 		fmt.Printf("traps avoided  %d\n", st.TrapsAvoidedSMB)
 	}
 	if *verbose {
-		ts := c.Tracker().Stats()
+		ts := res.Tracker
 		fmt.Printf("-- tracker: sharesME=%d sharesSMB=%d failsFull=%d failsSat=%d frees=%d recoveryFrees=%d\n",
 			ts.SharesME, ts.SharesSMB, ts.ShareFailsFull, ts.ShareFailsSat, ts.Frees, ts.RecoveryFrees)
 		fmt.Printf("-- loads: stlf=%d partialWaits=%d toMemory=%d\n",
@@ -119,8 +118,29 @@ func main() {
 		fmt.Printf("-- share dist=%.1f reclaim checks=%d dist=%.1f b2b=%.1f%% skipped-by-flag=%d\n",
 			st.ShareDistance(), st.ReclaimChecks, st.ReclaimCheckDistance(),
 			100*st.ReclaimBackToBackRate(), st.ReclaimSkippedByFlag)
-		h := c.Mem()
+		m := res.Mem
 		fmt.Printf("-- L1D: acc=%d miss=%d | L2: acc=%d miss=%d | DRAM reads=%d\n",
-			h.L1D.Accesses, h.L1D.Misses, h.L2.Accesses, h.L2.Misses, h.Mem.Reads)
+			m.L1DAccesses, m.L1DMisses, m.L2Accesses, m.L2Misses, m.DRAMReads)
 	}
+}
+
+// traceRun builds the core directly, warms it up, traces the first n
+// cycles of measurement, then finishes the measured region and packages
+// the statistics in the sim.Result shape the printers expect.
+func traceRun(cfg core.Config, bench string, warmup, measure, n uint64) *sim.Result {
+	spec, err := workloads.ByName(bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	prog := workloads.Build(spec)
+	c := core.New(cfg, prog)
+	c.Run(warmup, 1)
+	c.AttachTracer(&core.TextTracer{W: os.Stderr})
+	for i := uint64(0); i < n; i++ {
+		c.Cycle()
+	}
+	c.AttachTracer(nil)
+	st := c.Run(0, measure)
+	return sim.Snapshot(spec.Name, prog.NumInsts(), c, st)
 }

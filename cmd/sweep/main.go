@@ -6,63 +6,64 @@
 //   - stlf:   store-to-load forwarding latency × SMB on/off (the §3
 //     motivation: SMB gains grow with the STLF latency)
 //
+// All simulations go through one internal/sim runner, so shared cells —
+// notably the baseline, which every grid cell compares against — run
+// exactly once, and -cachedir reuses results across invocations.
+//
 // Usage:
 //
 //	sweep -kind isrb -bench hmmer
 //	sweep -kind stlf            # geometric mean over the whole suite
+//	sweep -cachedir .simcache   # persist results between runs
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"sync"
 
 	"repro/internal/core"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
 
 var (
-	kind    = flag.String("kind", "isrb", "sweep kind: isrb|rob|stlf")
-	bench   = flag.String("bench", "", "single benchmark (default: gmean over the suite)")
-	warmup  = flag.Uint64("warmup", 20_000, "warmup µops")
-	measure = flag.Uint64("measure", 80_000, "measured µops")
+	kind     = flag.String("kind", "isrb", "sweep kind: isrb|rob|stlf")
+	bench    = flag.String("bench", "", "single benchmark (default: gmean over the suite)")
+	warmup   = flag.Uint64("warmup", 20_000, "warmup µops")
+	measure  = flag.Uint64("measure", 80_000, "measured µops")
+	cachedir = flag.String("cachedir", "", "directory for the on-disk result cache (empty: off)")
+
+	runner *sim.Runner
 )
 
-// run simulates one (benchmark, config) pair.
-func run(name string, cfg core.Config) float64 {
-	spec, err := workloads.ByName(name)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	c := core.New(cfg, workloads.Build(spec))
-	return c.Run(*warmup, *measure).IPC()
-}
-
 // speedup returns the gmean speedup of cfg over base across the selected
-// benchmarks, running them in parallel.
+// benchmarks. The runner deduplicates: repeated base configurations
+// across grid cells cost nothing.
 func speedup(baseFor, cfgFor func() core.Config) float64 {
 	names := workloads.Names()
 	if *bench != "" {
 		names = []string{*bench}
 	}
-	ratios := make([]float64, len(names))
-	sem := make(chan struct{}, runtime.NumCPU())
-	var wg sync.WaitGroup
-	for i, n := range names {
-		wg.Add(1)
-		go func(i int, n string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			ratios[i] = stats.Speedup(run(n, cfgFor()), run(n, baseFor()))
-		}(i, n)
+	reqs := func(cfg core.Config) []sim.Request {
+		rs := make([]sim.Request, len(names))
+		for i, n := range names {
+			rs[i] = sim.Request{Bench: n, Config: cfg, Warmup: *warmup, Measure: *measure}
+		}
+		return rs
 	}
-	wg.Wait()
-	return stats.GeoMean(ratios)
+	base, err := runner.RunAll(reqs(baseFor()))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	opt, err := runner.RunAll(reqs(cfgFor()))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return sim.GMeanSpeedup(base, opt)
 }
 
 func combined(entries, bits int) core.Config {
@@ -75,6 +76,7 @@ func combined(entries, bits int) core.Config {
 
 func main() {
 	flag.Parse()
+	runner = sim.New(sim.WithCacheDir(*cachedir))
 	switch *kind {
 	case "isrb":
 		t := stats.NewTable("ME+SMB speedup: ISRB entries × counter bits",

@@ -32,14 +32,14 @@ type Stats struct {
 
 	// ISRB traffic accounting (§6.3).
 	ShareAttempts           uint64
-	shareDistSum            uint64
-	lastShareCSN            uint64
-	haveLastShare           bool
+	ShareDistSum            uint64
+	LastShareCSN            uint64
+	HaveLastShare           bool
 	ReclaimChecks           uint64
 	ReclaimSkippedByFlag    uint64
-	reclaimDistSum          uint64
-	lastReclaimCSN          uint64
-	haveLastReclaim         bool
+	ReclaimDistSum          uint64
+	LastReclaimCSN          uint64
+	HaveLastReclaim         bool
 	ReclaimChecksBackToBack uint64
 
 	// Flush recovery accounting.
@@ -89,7 +89,7 @@ func (s *Stats) ShareDistance() float64 {
 	if s.ShareAttempts <= 1 {
 		return 0
 	}
-	return float64(s.shareDistSum) / float64(s.ShareAttempts-1)
+	return float64(s.ShareDistSum) / float64(s.ShareAttempts-1)
 }
 
 // ReclaimCheckDistance returns the mean distance in committed µops between
@@ -98,7 +98,7 @@ func (s *Stats) ReclaimCheckDistance() float64 {
 	if s.ReclaimChecks <= 1 {
 		return 0
 	}
-	return float64(s.reclaimDistSum) / float64(s.ReclaimChecks-1)
+	return float64(s.ReclaimDistSum) / float64(s.ReclaimChecks-1)
 }
 
 // ReclaimBackToBackRate returns the fraction of CAM-needing commits
@@ -111,23 +111,23 @@ func (s *Stats) ReclaimBackToBackRate() float64 {
 }
 
 func (s *Stats) noteShareAttempt(csn uint64) {
-	if s.haveLastShare && csn > s.lastShareCSN {
-		s.shareDistSum += csn - s.lastShareCSN
+	if s.HaveLastShare && csn > s.LastShareCSN {
+		s.ShareDistSum += csn - s.LastShareCSN
 	}
-	s.lastShareCSN = csn
-	s.haveLastShare = true
+	s.LastShareCSN = csn
+	s.HaveLastShare = true
 	s.ShareAttempts++
 }
 
 func (s *Stats) noteReclaimCheck(commitCSN uint64) {
-	if s.haveLastReclaim && commitCSN > s.lastReclaimCSN {
-		d := commitCSN - s.lastReclaimCSN
-		s.reclaimDistSum += d
+	if s.HaveLastReclaim && commitCSN > s.LastReclaimCSN {
+		d := commitCSN - s.LastReclaimCSN
+		s.ReclaimDistSum += d
 		if d == 1 {
 			s.ReclaimChecksBackToBack++
 		}
 	}
-	s.lastReclaimCSN = commitCSN
-	s.haveLastReclaim = true
+	s.LastReclaimCSN = commitCSN
+	s.HaveLastReclaim = true
 	s.ReclaimChecks++
 }

@@ -1,20 +1,17 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation (§5-§6). Each Fig*/Table* function runs the required
-// simulations (in parallel, with a shared result cache) and returns the
-// same rows/series the paper reports, as formatted text tables plus
-// machine-readable series for the test suite's shape checks.
+// simulations through a shared internal/sim Runner (in parallel, with
+// deduplication and caching) and returns the same rows/series the paper
+// reports, as formatted text tables plus machine-readable series for the
+// test suite's shape checks.
 package experiments
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/core"
-	"repro/internal/moveelim"
-	"repro/internal/refcount"
+	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/workloads"
 )
 
 // RunLengths sets simulation length. The paper uses 50M warmup + 100M
@@ -31,88 +28,52 @@ var DefaultRunLengths = RunLengths{Warmup: 30_000, Measure: 150_000}
 // QuickRunLengths is used by unit tests.
 var QuickRunLengths = RunLengths{Warmup: 10_000, Measure: 50_000}
 
-// Result captures one simulation's outcome.
-type Result struct {
-	Bench   string
-	IPC     float64
-	S       core.Stats
-	Tracker refcount.Stats
-	ME      moveelim.Eliminator
-}
+// Result captures one simulation's outcome (see sim.Result).
+type Result = sim.Result
 
-// Session runs simulations with caching and parallelism.
+// Series is one named speedup curve over the benchmark list.
+type Series = sim.Series
+
+// Session pairs run lengths with the sim.Runner that executes, caches
+// and deduplicates the simulations. Several Sessions may share one
+// Runner: the deduplication key includes the run lengths.
 type Session struct {
 	RL RunLengths
 
-	mu    sync.Mutex
-	cache map[string]*Result
+	r *sim.Runner
 }
 
-// NewSession creates a session with the given run lengths.
-func NewSession(rl RunLengths) *Session {
-	return &Session{RL: rl, cache: make(map[string]*Result)}
+// NewSession creates a session with the given run lengths and a private
+// runner.
+func NewSession(rl RunLengths) *Session { return NewSessionWith(rl, nil) }
+
+// NewSessionWith creates a session on an existing runner (nil: a new
+// one), so callers — the test suite's TestMain, cmd/paperfigs with a
+// disk cache — can share results across sessions.
+func NewSessionWith(rl RunLengths, r *sim.Runner) *Session {
+	if r == nil {
+		r = sim.New()
+	}
+	return &Session{RL: rl, r: r}
 }
 
-// run simulates bench under cfg; key must uniquely identify cfg.
-func (s *Session) run(bench, key string, cfg core.Config) *Result {
-	ck := bench + "|" + key
-	s.mu.Lock()
-	if r, ok := s.cache[ck]; ok {
-		s.mu.Unlock()
-		return r
-	}
-	s.mu.Unlock()
+// Runner exposes the session's underlying runner.
+func (s *Session) Runner() *sim.Runner { return s.r }
 
-	spec, err := workloads.ByName(bench)
-	if err != nil {
-		panic(err)
-	}
-	prog := workloads.Build(spec)
-	c := core.New(cfg, prog)
-	st := c.Run(s.RL.Warmup, s.RL.Measure)
-	r := &Result{
-		Bench:   bench,
-		IPC:     st.IPC(),
-		S:       *st,
-		Tracker: *c.Tracker().Stats(),
-		ME:      *c.MoveElim(),
-	}
-	s.mu.Lock()
-	s.cache[ck] = r
-	s.mu.Unlock()
-	return r
+// run simulates bench under cfg through the shared runner.
+func (s *Session) run(bench string, cfg core.Config) *Result {
+	return s.r.MustRun(sim.Request{Bench: bench, Config: cfg, Warmup: s.RL.Warmup, Measure: s.RL.Measure})
 }
 
 // runAll simulates every benchmark under cfgFor in parallel, preserving
 // catalog order.
-func (s *Session) runAll(key string, cfgFor func(bench string) core.Config) []*Result {
-	names := workloads.Names()
-	results := make([]*Result, len(names))
-	sem := make(chan struct{}, max(1, runtime.NumCPU()))
-	var wg sync.WaitGroup
-	for i, name := range names {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i] = s.run(name, key, cfgFor(name))
-		}(i, name)
-	}
-	wg.Wait()
-	return results
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
+func (s *Session) runAll(cfgFor func(bench string) core.Config) []*Result {
+	return s.r.RunBenchmarks(s.RL.Warmup, s.RL.Measure, cfgFor)
 }
 
 // Baseline returns per-benchmark baseline results (Figure 4's machine).
 func (s *Session) Baseline() []*Result {
-	return s.runAll("baseline", func(string) core.Config { return core.DefaultConfig() })
+	return s.runAll(func(string) core.Config { return core.DefaultConfig() })
 }
 
 // --- configuration builders -------------------------------------------
@@ -152,29 +113,8 @@ func entryLabel(entries int) string {
 	return fmt.Sprintf("%d", entries)
 }
 
-// Series is one named speedup curve over the benchmark list.
-type Series struct {
-	Name    string
-	Per     map[string]float64
-	GMean   float64
-	MaxName string
-	Max     float64
-}
-
 func makeSeries(name string, base, opt []*Result) Series {
-	s := Series{Name: name, Per: make(map[string]float64, len(base))}
-	var sp []float64
-	for i := range base {
-		v := stats.Speedup(opt[i].IPC, base[i].IPC)
-		s.Per[base[i].Bench] = v
-		sp = append(sp, v)
-		if v > s.Max {
-			s.Max = v
-			s.MaxName = base[i].Bench
-		}
-	}
-	s.GMean = stats.GeoMean(sp)
-	return s
+	return sim.MakeSeries(name, base, opt)
 }
 
 func seriesTable(title string, base []*Result, series []Series) *stats.Table {

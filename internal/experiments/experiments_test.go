@@ -1,22 +1,50 @@
 package experiments
 
 import (
+	"os"
 	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/refcount"
+	"repro/internal/sim"
 )
 
 // The experiment tests verify the REPRODUCTION SHAPES at reduced run
 // lengths — who wins, where the curves saturate — not absolute numbers.
+
+// testRunner is shared by every test in the package (set up in
+// TestMain): the sim.Runner deduplicates by (benchmark, config, run
+// lengths), so the baseline sweep and every overlapping configuration
+// simulate exactly once for the whole suite instead of once per test.
+var testRunner *sim.Runner
+
+func TestMain(m *testing.M) {
+	testRunner = sim.New()
+	os.Exit(m.Run())
+}
 
 func quickSession(t *testing.T) *Session {
 	t.Helper()
 	if testing.Short() {
 		t.Skip("experiment sweeps skipped in -short mode")
 	}
-	return NewSession(QuickRunLengths)
+	return NewSessionWith(QuickRunLengths, testRunner)
+}
+
+// TestShortSmoke keeps a fast end-to-end shape check alive in -short
+// mode: one baseline and one combined run on a single benchmark, and the
+// headline direction (sharing does not tank IPC) holds.
+func TestShortSmoke(t *testing.T) {
+	s := NewSessionWith(RunLengths{Warmup: 2_000, Measure: 15_000}, testRunner)
+	base := s.run("crafty", core.DefaultConfig())
+	opt := s.run("crafty", combinedConfig(24))
+	if base.IPC <= 0 || base.S.Committed < 15_000 {
+		t.Fatalf("degenerate baseline run: IPC=%v committed=%d", base.IPC, base.S.Committed)
+	}
+	if opt.IPC < 0.8*base.IPC {
+		t.Fatalf("ME+SMB lost >20%% IPC on crafty: %.3f vs %.3f", opt.IPC, base.IPC)
+	}
 }
 
 func TestTable1Renders(t *testing.T) {
@@ -138,12 +166,12 @@ func TestFig6aShape(t *testing.T) {
 // TestFig6bShape: SMB reduces traps and false dependencies (with zero
 // warmup so the one-time training events are visible).
 func TestFig6bShape(t *testing.T) {
-	s := NewSession(RunLengths{Warmup: 0, Measure: 60_000})
+	s := NewSessionWith(RunLengths{Warmup: 0, Measure: 60_000}, testRunner)
 	if testing.Short() {
 		t.Skip("short mode")
 	}
 	base := s.Baseline()
-	opt := s.runAll("smb-unlimited", func(string) core.Config { return smbConfig(0) })
+	opt := s.runAll(func(string) core.Config { return smbConfig(0) })
 	var baseTraps, optTraps, baseFD, optFD uint64
 	for i := range base {
 		baseTraps += base[i].S.MemTraps
@@ -257,7 +285,7 @@ func TestISRBTrafficTable(t *testing.T) {
 }
 
 func TestBaselineShape(t *testing.T) {
-	s := NewSession(RunLengths{Warmup: 0, Measure: 60_000})
+	s := NewSessionWith(RunLengths{Warmup: 0, Measure: 60_000}, testRunner)
 	if testing.Short() {
 		t.Skip("short mode")
 	}

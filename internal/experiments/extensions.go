@@ -29,7 +29,7 @@ func (s *Session) ROB512Lazy() (*stats.Table, map[string]float64) {
 			} else {
 				name += "eager"
 			}
-			opt := s.runAll("ext-"+name, func(string) core.Config {
+			opt := s.runAll(func(string) core.Config {
 				cfg := smbConfig(0)
 				cfg.ROBSize = rob
 				cfg.SMB.BypassCommitted = lazy
@@ -52,7 +52,7 @@ func (s *Session) SingleBitME() (*stats.Table, map[int]float64) {
 	var series []Series
 	for _, bits := range []int{1, 3} {
 		bits := bits
-		opt := s.runAll(fmt.Sprintf("ext-me16-w%d", bits), func(string) core.Config {
+		opt := s.runAll(func(string) core.Config {
 			cfg := core.DefaultConfig()
 			cfg.ME.Enabled = true
 			cfg.Tracker = core.TrackerConfig{Kind: core.TrackerISRB, Entries: 16, CounterBits: bits}
@@ -82,7 +82,7 @@ func (s *Session) DistanceHistorySweep() (*stats.Table, map[string]float64) {
 	var series []Series
 	for _, g := range geoms {
 		g := g
-		opt := s.runAll("ext-dist-"+g.name, func(string) core.Config {
+		opt := s.runAll(func(string) core.Config {
 			cfg := smbConfig(0)
 			cfg.SMB.Predictor = core.DistanceTAGE
 			cfg.SMB.TAGEGeometry = g.hist
@@ -119,7 +119,7 @@ func (s *Session) TrackerComparison() (*stats.Table, map[string]float64) {
 	var series []Series
 	for _, sc := range schemes {
 		sc := sc
-		opt := s.runAll("ext-tracker-"+sc.name, func(string) core.Config {
+		opt := s.runAll(func(string) core.Config {
 			cfg := combinedConfig(0)
 			cfg.Tracker = core.TrackerConfig{Kind: sc.kind, Entries: sc.n, CounterBits: sc.bits}
 			return cfg

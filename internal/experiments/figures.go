@@ -68,7 +68,7 @@ func (s *Session) Fig5a() (*stats.Table, []Series) {
 	base := s.Baseline()
 	var series []Series
 	for _, n := range Fig5aSizes {
-		opt := s.runAll("me-"+entryLabel(n), func(string) core.Config { return meConfig(n) })
+		opt := s.runAll(func(string) core.Config { return meConfig(n) })
 		series = append(series, makeSeries("ME-"+entryLabel(n), base, opt))
 	}
 	return seriesTable("Figure 5a: ME speedup vs ISRB size", base, series), series
@@ -76,7 +76,7 @@ func (s *Session) Fig5a() (*stats.Table, []Series) {
 
 // Fig5b: percentage of renamed instructions eliminated (unlimited ISRB).
 func (s *Session) Fig5b() (*stats.Table, map[string]float64) {
-	opt := s.runAll("me-unlimited", func(string) core.Config { return meConfig(0) })
+	opt := s.runAll(func(string) core.Config { return meConfig(0) })
 	t := stats.NewTable("Figure 5b: % of committed µops eliminated (unlimited ISRB)",
 		"benchmark", "% eliminated", "candidates", "eliminated")
 	rates := make(map[string]float64)
@@ -96,10 +96,10 @@ func (s *Session) Fig6a() (*stats.Table, []Series) {
 	base := s.Baseline()
 	var series []Series
 	for _, n := range Fig6aSizes {
-		opt := s.runAll("smb-"+entryLabel(n), func(string) core.Config { return smbConfig(n) })
+		opt := s.runAll(func(string) core.Config { return smbConfig(n) })
 		series = append(series, makeSeries("SMB-"+entryLabel(n), base, opt))
 	}
-	nosq := s.runAll("smb-nosq", func(string) core.Config {
+	nosq := s.runAll(func(string) core.Config {
 		cfg := smbConfig(0)
 		cfg.SMB.Predictor = core.DistanceNoSQ
 		return cfg
@@ -113,7 +113,7 @@ func (s *Session) Fig6a() (*stats.Table, []Series) {
 // events occur reasonably often in the baseline.
 func (s *Session) Fig6b() *stats.Table {
 	base := s.Baseline()
-	opt := s.runAll("smb-unlimited", func(string) core.Config { return smbConfig(0) })
+	opt := s.runAll(func(string) core.Config { return smbConfig(0) })
 	scale := 100e6 / float64(s.RL.Measure)
 	// The paper's cutoffs: >=1K traps and >=10K false deps per 100M.
 	minTraps := uint64(1000 / scale)
@@ -144,13 +144,13 @@ func (s *Session) Fig6c() (*stats.Table, []Series) {
 	base := s.Baseline()
 	var series []Series
 	for _, n := range []int{0, 24} {
-		eager := s.runAll("smb-"+entryLabel(n), func(string) core.Config { return smbConfig(n) })
+		eager := s.runAll(func(string) core.Config { return smbConfig(n) })
 		lazyCfg := func(string) core.Config {
 			cfg := smbConfig(n)
 			cfg.SMB.BypassCommitted = true
 			return cfg
 		}
-		lazy := s.runAll("smb-lazy-"+entryLabel(n), lazyCfg)
+		lazy := s.runAll(lazyCfg)
 		series = append(series,
 			makeSeries("eager-"+entryLabel(n), base, eager),
 			makeSeries("lazy-"+entryLabel(n), base, lazy))
@@ -166,7 +166,7 @@ func (s *Session) Fig7() (*stats.Table, []Series) {
 	base := s.Baseline()
 	var series []Series
 	for _, n := range Fig7Sizes {
-		opt := s.runAll("comb-"+entryLabel(n), func(string) core.Config { return combinedConfig(n) })
+		opt := s.runAll(func(string) core.Config { return combinedConfig(n) })
 		series = append(series, makeSeries("ME+SMB-"+entryLabel(n), base, opt))
 	}
 	return seriesTable("Figure 7: combined ME+SMB speedup vs ISRB size", base, series), series
@@ -176,13 +176,13 @@ func (s *Session) Fig7() (*stats.Table, []Series) {
 // table (§3.1's "within 2.2% except hmmer" claim).
 func (s *Session) DDTSizing() (*stats.Table, []Series) {
 	base := s.Baseline()
-	unl := s.runAll("smb-unlimited", func(string) core.Config { return smbConfig(0) })
-	small := s.runAll("smb-ddt1k", func(string) core.Config {
+	unl := s.runAll(func(string) core.Config { return smbConfig(0) })
+	small := s.runAll(func(string) core.Config {
 		cfg := smbConfig(0)
 		cfg.SMB.DDT = smb.DDTConfig{Entries: 1024, TagBits: 5}
 		return cfg
 	})
-	large := s.runAll("smb-ddt16k", func(string) core.Config {
+	large := s.runAll(func(string) core.Config {
 		cfg := smbConfig(0)
 		cfg.SMB.DDT = smb.DDTConfig{Entries: 16384, TagBits: 14}
 		return cfg
@@ -198,8 +198,8 @@ func (s *Session) DDTSizing() (*stats.Table, []Series) {
 // StoreOnly compares full SMB with store→load-only bypassing (§6.2).
 func (s *Session) StoreOnly() (*stats.Table, []Series) {
 	base := s.Baseline()
-	full := s.runAll("smb-unlimited", func(string) core.Config { return smbConfig(0) })
-	so := s.runAll("smb-storeonly", func(string) core.Config {
+	full := s.runAll(func(string) core.Config { return smbConfig(0) })
+	so := s.runAll(func(string) core.Config {
 		cfg := smbConfig(0)
 		cfg.SMB.LoadLoad = false
 		return cfg
@@ -219,7 +219,7 @@ func (s *Session) CounterWidth() (*stats.Table, map[int]float64) {
 	gmeans := make(map[int]float64)
 	var series []Series
 	for _, w := range widths {
-		opt := s.runAll(fmt.Sprintf("comb-32-w%d", w), func(string) core.Config {
+		opt := s.runAll(func(string) core.Config {
 			cfg := core.DefaultConfig()
 			cfg.ME.Enabled = true
 			cfg.SMB.Enabled = true
@@ -230,7 +230,7 @@ func (s *Session) CounterWidth() (*stats.Table, map[int]float64) {
 		series = append(series, sr)
 		gmeans[w] = sr.GMean
 	}
-	unl := s.runAll("comb-unlimited", func(string) core.Config { return combinedConfig(0) })
+	unl := s.runAll(func(string) core.Config { return combinedConfig(0) })
 	sr := makeSeries("unlimited-32b", base, unl)
 	series = append(series, sr)
 	gmeans[0] = sr.GMean
@@ -240,7 +240,7 @@ func (s *Session) CounterWidth() (*stats.Table, map[int]float64) {
 // ISRBTraffic reports the §6.3 port-pressure statistics for the combined
 // configuration with a 32-entry ISRB.
 func (s *Session) ISRBTraffic() *stats.Table {
-	opt := s.runAll("comb-32-w3", func(string) core.Config {
+	opt := s.runAll(func(string) core.Config {
 		cfg := core.DefaultConfig()
 		cfg.ME.Enabled = true
 		cfg.SMB.Enabled = true

@@ -1,0 +1,391 @@
+// Package sim is the simulation runner every entry point shares: the
+// experiment harness (internal/experiments), the sweep and figure
+// commands (cmd/sweep, cmd/paperfigs), the single-run driver
+// (cmd/regsim) and the public regshare API all obtain results through a
+// Runner rather than driving internal/core directly.
+//
+// A Runner owns
+//
+//   - a bounded worker pool sized off runtime.GOMAXPROCS, so arbitrarily
+//     wide fan-outs (a figure function asking for 36 benchmarks × 6
+//     configurations at once) never oversubscribe the machine;
+//   - request deduplication with singleflight semantics, keyed by
+//     (benchmark, configuration, warmup, measure): concurrent callers
+//     asking for the same run block on one simulation instead of
+//     re-running it — e.g. every figure's speedup series shares one
+//     baseline sweep;
+//   - an in-memory result store (the simulator is deterministic, so a
+//     result never goes stale) with an optional on-disk JSON cache so
+//     separate invocations of cmd/paperfigs and cmd/sweep reuse runs.
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/refcount"
+	"repro/internal/workloads"
+)
+
+// Request names one simulation: a benchmark from the workload catalog, a
+// full machine configuration and the run lengths.
+type Request struct {
+	Bench   string
+	Config  core.Config
+	Warmup  uint64
+	Measure uint64
+}
+
+// MEStats snapshots the move-elimination counters of one run. It is the
+// pure-value subset of moveelim.Eliminator (whose policy config would
+// not survive the disk cache's JSON round-trip).
+type MEStats struct {
+	Candidates      uint64
+	Eliminated      uint64
+	TrackerRejected uint64
+	SelfMoves       uint64
+}
+
+// MemStats summarizes the memory hierarchy counters of one run (the
+// subset cmd/regsim -v reports).
+type MemStats struct {
+	L1DAccesses uint64
+	L1DMisses   uint64
+	L2Accesses  uint64
+	L2Misses    uint64
+	DRAMReads   uint64
+}
+
+// Result captures one simulation's outcome. It is a pure value — safe to
+// share between callers and to round-trip through the disk cache — so it
+// carries statistics snapshots, not the simulated core itself.
+type Result struct {
+	Bench       string
+	StaticUops  int
+	TrackerName string
+	IPC         float64
+	S           core.Stats
+	Tracker     refcount.Stats
+	ME          MEStats
+	Mem         MemStats
+}
+
+// Counters reports what the Runner did, for tests and -v diagnostics.
+type Counters struct {
+	Simulated uint64 // runs actually executed
+	MemHits   uint64 // served from the in-memory store (incl. singleflight waits)
+	DiskHits  uint64 // served from the on-disk cache
+}
+
+// Option configures a Runner.
+type Option func(*Runner)
+
+// WithWorkers bounds the worker pool at n (default: GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(r *Runner) {
+		if n > 0 {
+			r.workers = n
+		}
+	}
+}
+
+// WithCacheDir enables the on-disk result cache under dir (one JSON file
+// per request key). An empty dir leaves the disk cache off.
+func WithCacheDir(dir string) Option {
+	return func(r *Runner) { r.dir = dir }
+}
+
+// Runner runs simulations with deduplication, caching and a bounded
+// worker pool. The zero value is not usable; call New.
+type Runner struct {
+	workers int
+	sem     chan struct{}
+	dir     string
+
+	mu    sync.Mutex
+	calls map[string]*call
+	ctr   Counters
+}
+
+// call is one singleflight slot: the first requester simulates, everyone
+// else blocks on done.
+type call struct {
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+// New builds a Runner.
+func New(opts ...Option) *Runner {
+	r := &Runner{
+		workers: runtime.GOMAXPROCS(0),
+		calls:   make(map[string]*call),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	if r.workers < 1 {
+		r.workers = 1
+	}
+	r.sem = make(chan struct{}, r.workers)
+	return r
+}
+
+// cacheVersion tags disk-cache filenames with the simulator's identity,
+// so a long-lived -cachedir is invalidated automatically when the
+// simulator changes instead of silently serving stale results. A clean
+// VCS build is tagged with its revision (stable across rebuilds of the
+// same commit); anything else — go run, test binaries, dirty trees —
+// falls back to a digest of the executable itself, which changes on
+// every rebuild. The "s1" schema number covers Result layout changes.
+var cacheVersion = sync.OnceValue(func() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev string
+		dirty := false
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" && !dirty {
+			return "s1-" + rev[:min(12, len(rev))]
+		}
+	}
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			h := sha256.Sum256(data)
+			return "s1-x" + hex.EncodeToString(h[:6])
+		}
+	}
+	return "s1-unversioned"
+})
+
+// Key returns the deduplication key of req: the benchmark name, a digest
+// of the full configuration (which is pure data, so its JSON encoding is
+// deterministic) and the run lengths. The simulator version tag is NOT
+// part of this key — in-memory results can never be stale — it is
+// appended to the on-disk filename by diskPath.
+func Key(req Request) string {
+	cfg, err := json.Marshal(req.Config)
+	if err != nil {
+		panic(fmt.Sprintf("sim: config not encodable: %v", err))
+	}
+	h := sha256.Sum256(cfg)
+	return fmt.Sprintf("%s-%d-%d-%s", req.Bench, req.Warmup, req.Measure, hex.EncodeToString(h[:8]))
+}
+
+// Counters returns a snapshot of the Runner's activity counters.
+func (r *Runner) Counters() Counters {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ctr
+}
+
+// Run returns the result for req, simulating it at most once per Runner
+// (and at most once per cache directory when the disk cache is enabled).
+// Concurrent calls for the same request block on a single simulation.
+// The returned Result is shared: callers must not mutate it.
+func (r *Runner) Run(req Request) (*Result, error) {
+	key := Key(req)
+
+	r.mu.Lock()
+	if c, ok := r.calls[key]; ok {
+		r.ctr.MemHits++
+		r.mu.Unlock()
+		<-c.done
+		return c.res, c.err
+	}
+	c := &call{done: make(chan struct{})}
+	r.calls[key] = c
+	r.mu.Unlock()
+
+	c.res, c.err = r.fill(key, req)
+	close(c.done)
+
+	if c.err != nil {
+		// Do not poison the store with failures: let a later caller retry.
+		r.mu.Lock()
+		delete(r.calls, key)
+		r.mu.Unlock()
+	}
+	return c.res, c.err
+}
+
+// fill produces the result for key: disk cache first, then a worker slot
+// and a real simulation (written back to the disk cache on the way out).
+func (r *Runner) fill(key string, req Request) (*Result, error) {
+	if res, ok := r.loadDisk(key); ok {
+		r.mu.Lock()
+		r.ctr.DiskHits++
+		r.mu.Unlock()
+		return res, nil
+	}
+
+	r.sem <- struct{}{}
+	defer func() { <-r.sem }()
+
+	res, err := simulate(req)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.ctr.Simulated++
+	r.mu.Unlock()
+	r.storeDisk(key, res)
+	return res, nil
+}
+
+// MustRun is Run for harness code where a request error is a bug.
+func (r *Runner) MustRun(req Request) *Result {
+	res, err := r.Run(req)
+	if err != nil {
+		panic(fmt.Sprintf("sim: %v", err))
+	}
+	return res
+}
+
+// RunAll fans the requests out over the worker pool and returns results
+// in request order. The first error (if any) is returned after all
+// requests settle; successful entries are still filled in.
+func (r *Runner) RunAll(reqs []Request) ([]*Result, error) {
+	results := make([]*Result, len(reqs))
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = r.Run(reqs[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// MustRunAll is RunAll for harness code where a request error is a bug.
+func (r *Runner) MustRunAll(reqs []Request) []*Result {
+	results, err := r.RunAll(reqs)
+	if err != nil {
+		panic(fmt.Sprintf("sim: %v", err))
+	}
+	return results
+}
+
+// RunBenchmarks runs cfgFor(bench) for every benchmark in the workload
+// catalog, preserving catalog order — the shape every figure sweep uses.
+func (r *Runner) RunBenchmarks(warmup, measure uint64, cfgFor func(bench string) core.Config) []*Result {
+	names := workloads.Names()
+	reqs := make([]Request, len(names))
+	for i, n := range names {
+		reqs[i] = Request{Bench: n, Config: cfgFor(n), Warmup: warmup, Measure: measure}
+	}
+	return r.MustRunAll(reqs)
+}
+
+// simulate executes one run on a fresh core.
+func simulate(req Request) (*Result, error) {
+	spec, err := workloads.ByName(req.Bench)
+	if err != nil {
+		return nil, err
+	}
+	prog := workloads.Build(spec)
+	c := core.New(req.Config, prog)
+	st := c.Run(req.Warmup, req.Measure)
+	return Snapshot(req.Bench, prog.NumInsts(), c, st), nil
+}
+
+// Snapshot packages a finished simulation into a Result. It is the one
+// place the simulated core's statistics are flattened into the pure
+// value form; callers that drive a core directly (cmd/regsim -trace)
+// use it too, so the two paths cannot drift apart.
+func Snapshot(bench string, staticUops int, c *core.Core, st *core.Stats) *Result {
+	h := c.Mem()
+	me := c.MoveElim()
+	return &Result{
+		Bench:       bench,
+		StaticUops:  staticUops,
+		TrackerName: c.Tracker().Name(),
+		IPC:         st.IPC(),
+		S:           *st,
+		Tracker:     *c.Tracker().Stats(),
+		ME: MEStats{
+			Candidates:      me.Candidates,
+			Eliminated:      me.Eliminated,
+			TrackerRejected: me.TrackerRejected,
+			SelfMoves:       me.SelfMoves,
+		},
+		Mem: MemStats{
+			L1DAccesses: h.L1D.Accesses,
+			L1DMisses:   h.L1D.Misses,
+			L2Accesses:  h.L2.Accesses,
+			L2Misses:    h.L2.Misses,
+			DRAMReads:   h.Mem.Reads,
+		},
+	}
+}
+
+// --- on-disk cache ------------------------------------------------------
+
+func (r *Runner) diskPath(key string) string {
+	return filepath.Join(r.dir, key+"-"+cacheVersion()+".json")
+}
+
+func (r *Runner) loadDisk(key string) (*Result, bool) {
+	if r.dir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(r.diskPath(key))
+	if err != nil {
+		return nil, false
+	}
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, false
+	}
+	return &res, true
+}
+
+// storeDisk writes res under key, via a temp file + rename so concurrent
+// processes sharing a cache dir never observe a partial file. Cache
+// write failures are ignored: the in-memory result is already correct.
+func (r *Runner) storeDisk(key string, res *Result) {
+	if r.dir == "" {
+		return
+	}
+	if err := os.MkdirAll(r.dir, 0o755); err != nil {
+		return
+	}
+	data, err := json.MarshalIndent(res, "", " ")
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(r.dir, key+".tmp*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if os.Rename(tmp.Name(), r.diskPath(key)) != nil {
+		os.Remove(tmp.Name())
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/sim"
 	"repro/internal/smb"
 	"repro/internal/workloads"
 )
@@ -126,25 +127,40 @@ type RunSpec struct {
 type Result struct {
 	Benchmark string
 	Stats     *Stats
-	Core      *core.Core
+	// Detail carries the full result record (tracker, move-elimination
+	// and memory-hierarchy statistics) from the shared runner.
+	Detail *sim.Result
 }
 
-// Run builds the benchmark program and simulates it.
+// runner is the process-wide simulation runner behind Run: deterministic
+// simulations are deduplicated and cached, so repeated calls with the
+// same RunSpec — e.g. benchmark iterations — simulate once.
+var runner = sim.New()
+
+// Run simulates the named benchmark through the shared process-wide
+// runner. Results are memoized for the process lifetime (the simulator
+// is deterministic, so they never go stale); sweeps over very many
+// distinct RunSpecs accumulate one cached Result each. The returned
+// Detail record is shared with the cache and must not be mutated; Stats
+// is the caller's own copy.
 func Run(spec RunSpec) (*Result, error) {
-	ws, err := workloads.ByName(spec.Benchmark)
-	if err != nil {
-		return nil, err
-	}
 	if spec.Warmup == 0 {
 		spec.Warmup = DefaultWarmup
 	}
 	if spec.Measure == 0 {
 		spec.Measure = DefaultMeasure
 	}
-	prog := workloads.Build(ws)
-	c := core.New(spec.Config, prog)
-	stats := c.Run(spec.Warmup, spec.Measure)
-	return &Result{Benchmark: spec.Benchmark, Stats: stats, Core: c}, nil
+	r, err := runner.Run(sim.Request{
+		Bench:   spec.Benchmark,
+		Config:  spec.Config,
+		Warmup:  spec.Warmup,
+		Measure: spec.Measure,
+	})
+	if err != nil {
+		return nil, err
+	}
+	st := r.S // copy: the cached record is shared
+	return &Result{Benchmark: spec.Benchmark, Stats: &st, Detail: r}, nil
 }
 
 // MustRun is Run for harness code where a config error is a bug.
