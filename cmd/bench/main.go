@@ -1,0 +1,78 @@
+// Command bench measures raw simulator speed — simulated cycles per
+// wall-clock second — on the pinned workload set of internal/sim, and
+// writes the BENCH_*.json report that tracks the simulator's performance
+// trajectory across PRs.
+//
+// Usage:
+//
+//	bench -o BENCH_2.json                 # full pinned set
+//	bench -quick -o /tmp/smoke.json       # 3-point CI smoke subset
+//	bench -o BENCH_2.json -baseline BENCH_1.json   # embed speedup
+//
+// The workload set, machine configuration and run lengths are pinned in
+// internal/sim so reports from different PRs are comparable; -quick
+// selects the small smoke subset CI runs on every push. A -baseline file
+// (any earlier report) is embedded into the output together with the
+// gmean cycles/sec speedup against it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", false, "run the 3-point smoke subset")
+		out      = flag.String("o", "", "write the JSON report to this file")
+		baseline = flag.String("baseline", "", "earlier BENCH_*.json to embed and compare against")
+		label    = flag.String("label", "", "free-form label recorded in the report")
+		list     = flag.Bool("list", false, "print the pinned points and exit")
+	)
+	flag.Parse()
+
+	points := sim.BenchPoints(*quick)
+	if *list {
+		for _, p := range points {
+			fmt.Printf("%-10s %-10s warmup=%d measure=%d\n", p.Bench, p.Tracker, p.Warmup, p.Measure)
+		}
+		return
+	}
+
+	rep, err := sim.RunBench(points, *quick, func(r sim.BenchResult) {
+		fmt.Printf("%-10s %-10s %9d cycles  ipc=%5.3f  %8.1f ms  %10.0f cycles/sec\n",
+			r.Bench, r.Tracker, r.Cycles, r.IPC, float64(r.WallNS)/1e6, r.CyclesPerSec)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	rep.Label = *label
+
+	if *baseline != "" {
+		base, err := sim.LoadBenchReport(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		rep.AttachBaseline(base, *baseline)
+	}
+
+	fmt.Printf("\ngmean %.0f cycles/sec, total wall %.2f s\n",
+		rep.GMeanCPS, float64(rep.TotalWallNS)/1e9)
+	if rep.Baseline != nil {
+		fmt.Printf("baseline %s: gmean %.0f cycles/sec  ->  speedup %.2fx\n",
+			rep.Baseline.Label, rep.Baseline.GMeanCPS, rep.SpeedupVsBaseline)
+	}
+
+	if *out != "" {
+		if err := rep.WriteFile(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
+	}
+}

@@ -37,6 +37,20 @@ type btbEntry struct {
 	lru    uint8
 }
 
+// rasJournalLen bounds how many RAS pushes can separate a live snapshot
+// from the present. Snapshots belong to in-flight branches, so the
+// distance is bounded by the front-end queue plus the ROB (~700 µops);
+// the ring leaves a generous margin and Restore panics on overflow
+// rather than silently corrupting state.
+const rasJournalLen = 4096
+
+// rasUndo records the value a RAS push overwrote, so a snapshot restore
+// can rewind the stack contents exactly.
+type rasUndo struct {
+	slot int32
+	old  uint64
+}
+
 // Predictor is the complete front-end branch prediction unit.
 type Predictor struct {
 	cfg  Config
@@ -44,8 +58,10 @@ type Predictor struct {
 	btb  []btbEntry // sets × ways, flattened
 	sets int
 
-	ras    []uint64
-	rasTop int
+	ras     []uint64
+	rasTop  int
+	rasJrnl []rasUndo // push-undo ring
+	rasJPos uint64    // total pushes journaled
 
 	hist tage.History
 
@@ -60,37 +76,62 @@ type Predictor struct {
 func New(cfg Config) *Predictor {
 	sets := cfg.BTBEntries / cfg.BTBWays
 	return &Predictor{
-		cfg:  cfg,
-		tage: tage.NewBranchPredictor(cfg.TAGE),
-		btb:  make([]btbEntry, cfg.BTBEntries),
-		sets: sets,
-		ras:  make([]uint64, cfg.RASEntries),
+		cfg:     cfg,
+		tage:    tage.NewBranchPredictor(cfg.TAGE),
+		btb:     make([]btbEntry, cfg.BTBEntries),
+		sets:    sets,
+		ras:     make([]uint64, cfg.RASEntries),
+		rasJrnl: make([]rasUndo, rasJournalLen),
 	}
 }
 
 // Snapshot captures the speculative history and RAS state so the core can
-// restore them on a pipeline flush. RAS content is included: the paper's
+// restore them on a pipeline flush. RAS content is covered: the paper's
 // 32-entry RAS is small enough that full checkpointing is the realistic
-// recovery model for a checkpointed core.
+// recovery model for a checkpointed core. Instead of copying the stack
+// into every snapshot (one allocation per fetched branch), the snapshot
+// records the push-journal position; Restore rewinds the journal,
+// undoing every push taken since, which reproduces the full-copy
+// semantics exactly.
 type Snapshot struct {
 	Hist   tage.History
-	RAS    []uint64
 	RASTop int
+	// RASJPos is the push-journal position at capture time.
+	RASJPos uint64
 }
 
 // Snapshot returns the current speculative front-end state.
 func (p *Predictor) Snapshot() Snapshot {
-	s := Snapshot{Hist: p.hist, RASTop: p.rasTop}
-	s.RAS = make([]uint64, len(p.ras))
-	copy(s.RAS, p.ras)
-	return s
+	return Snapshot{Hist: p.hist, RASTop: p.rasTop, RASJPos: p.rasJPos}
 }
 
-// Restore rewinds the speculative front-end state to s.
+// Restore rewinds the speculative front-end state to s. Snapshots must be
+// restored in reverse order of capture (each restore may only rewind),
+// which is how checkpoint recovery uses them.
 func (p *Predictor) Restore(s *Snapshot) {
+	if s.RASJPos > p.rasJPos {
+		panic("branch: snapshot restore must rewind, not advance")
+	}
+	if p.rasJPos-s.RASJPos > uint64(len(p.rasJrnl)) {
+		panic("branch: RAS undo journal overflow")
+	}
+	for j := p.rasJPos; j > s.RASJPos; j-- {
+		u := &p.rasJrnl[(j-1)%uint64(len(p.rasJrnl))]
+		p.ras[u.slot] = u.old
+	}
+	p.rasJPos = s.RASJPos
 	p.hist = s.Hist
-	copy(p.ras, s.RAS)
 	p.rasTop = s.RASTop
+}
+
+// RestoreCommitted overwrites the speculative front-end state with the
+// committed history and RAS contents (flush-at-commit recovery, §4.1).
+// Every outstanding snapshot is dead after such a flush, so the journal
+// continues from the current position.
+func (p *Predictor) RestoreCommitted(hist tage.History, ras []uint64, top int) {
+	p.hist = hist
+	copy(p.ras, ras)
+	p.rasTop = top
 }
 
 // History exposes the current speculative history (for the SMB distance
@@ -234,6 +275,8 @@ func (p *Predictor) btbInsert(pc, target uint64) {
 
 func (p *Predictor) rasPush(addr uint64) {
 	p.rasTop = (p.rasTop + 1) % len(p.ras)
+	p.rasJrnl[p.rasJPos%uint64(len(p.rasJrnl))] = rasUndo{slot: int32(p.rasTop), old: p.ras[p.rasTop]}
+	p.rasJPos++
 	p.ras[p.rasTop] = addr
 }
 

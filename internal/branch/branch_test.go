@@ -126,3 +126,51 @@ func TestUncondAndCallPredictedTaken(t *testing.T) {
 		t.Fatalf("trained uncond: taken=%v target=%#x", pr.Taken, pr.Target)
 	}
 }
+
+// TestSnapshotJournalRewind: RAS snapshots are journal positions, not
+// copies; restoring checkpoints in reverse order after arbitrary
+// wrong-path call/return traffic must reproduce the exact stack contents
+// a full copy would have (verified against a shadow copy).
+func TestSnapshotJournalRewind(t *testing.T) {
+	p := New(DefaultConfig())
+	call := func(pc, target uint64) {
+		p.Predict(&isa.Uop{PC: pc, Op: isa.Branch, Kind: isa.BrCall, Taken: true, Target: target, FallThrough: pc + 4})
+	}
+	ret := func(pc uint64) uint64 {
+		return p.Predict(&isa.Uop{PC: pc, Op: isa.Branch, Kind: isa.BrRet, Taken: true, FallThrough: pc + 4}).Target
+	}
+
+	// Build some real stack depth, then checkpoint at three nesting
+	// levels with a shadow copy of the stack behaviour at each.
+	for i := 0; i < 5; i++ {
+		call(uint64(0x1000+16*i), uint64(0x8000+0x100*i))
+	}
+	type shadow struct {
+		snap Snapshot
+		next uint64 // return address a ret must produce after restore
+	}
+	var shadows []shadow
+	for i := 0; i < 3; i++ {
+		shadows = append(shadows, shadow{snap: p.Snapshot(), next: uint64(0x1000+16*4) + 4 - uint64(16*i)})
+		ret(uint64(0x2000 + 16*i)) // consume one level between checkpoints
+	}
+
+	// Wrong path: churn the stack far past every checkpoint, including
+	// enough pushes to overwrite physical slots.
+	for i := 0; i < 40; i++ {
+		call(uint64(0x3000+16*i), uint64(0x9000+0x10*i))
+		if i%3 == 0 {
+			ret(uint64(0x4000 + 16*i))
+		}
+	}
+
+	// Restore newest→oldest; each restored state must return exactly the
+	// address that was on top when its checkpoint was taken.
+	for i := len(shadows) - 1; i >= 0; i-- {
+		p.Restore(&shadows[i].snap)
+		if got := ret(0x5000); got != shadows[i].next {
+			t.Fatalf("checkpoint %d: return predicted %#x, want %#x", i, got, shadows[i].next)
+		}
+		p.Restore(&shadows[i].snap) // rewinds the verification ret/call too
+	}
+}

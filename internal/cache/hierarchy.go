@@ -9,6 +9,7 @@ import "repro/internal/dram"
 type StridePrefetcher struct {
 	entries []strideEntry
 	degree  int
+	out     []uint64 // scratch returned by Observe, reused per call
 
 	Issued uint64
 	Useful uint64 // filled blocks later hit by demand (approximate)
@@ -24,11 +25,16 @@ type strideEntry struct {
 // NewStridePrefetcher builds a prefetcher with the given table size and
 // prefetch degree.
 func NewStridePrefetcher(tableEntries, degree int) *StridePrefetcher {
-	return &StridePrefetcher{entries: make([]strideEntry, tableEntries), degree: degree}
+	return &StridePrefetcher{
+		entries: make([]strideEntry, tableEntries),
+		degree:  degree,
+		out:     make([]uint64, 0, degree),
+	}
 }
 
 // Observe trains on a demand access and returns the list of block
-// addresses to prefetch (may be empty).
+// addresses to prefetch (may be empty). The returned slice is scratch
+// owned by the prefetcher, valid until the next Observe call.
 func (p *StridePrefetcher) Observe(pc, addr uint64) []uint64 {
 	if len(p.entries) == 0 {
 		return nil
@@ -56,21 +62,24 @@ func (p *StridePrefetcher) Observe(pc, addr uint64) []uint64 {
 		return nil
 	}
 	// Confident: prefetch `degree` strided lines starting one stride out
-	// (distance 1).
-	out := make([]uint64, 0, p.degree)
+	// (distance 1). The strided block sequence is monotone, so duplicate
+	// blocks are always consecutive: comparing against the previously
+	// emitted block (seeded with the demand block) deduplicates exactly.
+	out := p.out[:0]
 	next := int64(addr)
-	seen := map[uint64]bool{addr / LineBytes: true}
+	prev := addr / LineBytes
 	for i := 0; i < p.degree; i++ {
 		next += stride
 		if next < 0 {
 			break
 		}
 		blk := uint64(next) / LineBytes
-		if !seen[blk] {
-			seen[blk] = true
+		if blk != prev {
+			prev = blk
 			out = append(out, blk)
 		}
 	}
+	p.out = out
 	p.Issued += uint64(len(out))
 	return out
 }

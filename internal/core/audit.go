@@ -31,18 +31,36 @@ func (c *Core) DrainAndAudit() error {
 	// Force every deferred reclaim (lazy mode retains them indefinitely).
 	c.drainPendingReclaim(len(c.pendingReclaim))
 
+	// The reachability scratch is reused across invocations (the audit
+	// runs after every directed/property simulation; allocating a fresh
+	// map per call was a measurable cost there): one flag per physical
+	// register, cleared on the way in.
+	if len(c.auditMapped) < c.cfg.PhysRegsPerClass {
+		c.auditMapped = make([]bool, c.cfg.PhysRegsPerClass)
+	}
 	for class := 0; class < 2; class++ {
 		cls := isa.RegClass(class)
-		reachable := make(map[regfile.PhysReg]string, c.cfg.PhysRegsPerClass)
+		mapped := c.auditMapped[:c.cfg.PhysRegsPerClass]
+		for i := range mapped {
+			mapped[i] = false
+		}
 		// After a drain RM == CRM must hold: every speculative mapping
 		// either committed or was squashed.
+		nMapped := 0
 		for i := 0; i < isa.NumArchRegs; i++ {
 			r := isa.Reg{Class: cls, Index: uint8(i)}
 			if c.rf.RM.Get(r) != c.rf.CRM.Get(r) {
 				return fmt.Errorf("core: drained RM/CRM disagree on %v: %v vs %v",
 					r, c.rf.RM.Get(r), c.rf.CRM.Get(r))
 			}
-			reachable[c.rf.RM.Get(r)] = "mapped:" + r.String()
+			p := c.rf.RM.Get(r)
+			if p.Class() != cls {
+				return fmt.Errorf("core: %v maps to %v of the wrong class", r, p)
+			}
+			if !mapped[p.Index()] {
+				mapped[p.Index()] = true
+				nMapped++
+			}
 		}
 
 		free, trackedOnly := 0, 0
@@ -52,17 +70,16 @@ func (c *Core) DrainAndAudit() error {
 			if inFL {
 				free++
 			}
-			_, mapped := reachable[p]
 			tracked := c.tracker.IsShared(p)
 			switch {
-			case inFL && mapped:
+			case inFL && mapped[i]:
 				return fmt.Errorf("core: %v is free AND architecturally mapped", p)
 			case inFL && tracked:
 				return fmt.Errorf("core: %v is free AND still tracked by %s", p, c.tracker.Name())
-			case !inFL && !mapped && !tracked:
+			case !inFL && !mapped[i] && !tracked:
 				return fmt.Errorf("core: %v leaked: neither free, mapped, nor tracked", p)
 			}
-			if tracked && !mapped && !inFL {
+			if tracked && !mapped[i] && !inFL {
 				trackedOnly++
 			}
 		}
@@ -70,9 +87,9 @@ func (c *Core) DrainAndAudit() error {
 		// NumArchRegs: after an eliminated move commits, two
 		// architectural registers legitimately share one physical
 		// register (that is the whole point of the paper).
-		if free+len(reachable)+trackedOnly != c.cfg.PhysRegsPerClass {
+		if free+nMapped+trackedOnly != c.cfg.PhysRegsPerClass {
 			return fmt.Errorf("core: %s conservation broken: free=%d mapped=%d tracked-only=%d of %d",
-				cls, free, len(reachable), trackedOnly, c.cfg.PhysRegsPerClass)
+				cls, free, nMapped, trackedOnly, c.cfg.PhysRegsPerClass)
 		}
 	}
 	return nil

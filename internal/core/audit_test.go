@@ -1,0 +1,68 @@
+package core
+
+// DrainAndAudit regression tests: the audit's reachability scratch is
+// reused across invocations, so it must stay correct when called
+// repeatedly and on cores that have been through every recovery flavour
+// (checkpoint restores, flush-at-commit traps, SMB validation failures).
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// recoveryHeavyProgram mixes chaotic branches (checkpoint recoveries)
+// with a late-address store aliasing an early load (memory traps) and a
+// spill/reload pair (SMB shares to roll back).
+func recoveryHeavyProgram() *program.Program {
+	return loopProgram(func(b *program.Builder) {
+		b.Emit(program.SInst{Op: isa.ALU, Sem: program.SemMulImm,
+			Src: [2]isa.Reg{isa.IntR(5)}, Dest: isa.IntR(5), Imm: 0x9E3779B97F4A7C15, Width: 64})
+		b.EmitBranchTo(program.SInst{Op: isa.Branch, Kind: isa.BrCond, Cond: program.CondBitSet,
+			Src: [2]isa.Reg{isa.IntR(5)}, Imm: 43, Width: 64}, "sk")
+		b.Emit(program.SInst{Op: isa.Move, Sem: program.SemMov,
+			Src: [2]isa.Reg{isa.IntR(8)}, Dest: isa.IntR(9), Width: 64})
+		b.Label("sk")
+		b.Emit(program.SInst{Op: isa.Load, Sem: program.SemLoad,
+			Dest: isa.IntR(10), AddrReg: isa.IntR(1), Imm: 64, Width: 64})
+		b.Emit(program.SInst{Op: isa.ALU, Sem: program.SemAndImm,
+			Src: [2]isa.Reg{isa.IntR(10)}, Dest: isa.IntR(11), Imm: 0, Width: 64})
+		b.Emit(program.SInst{Op: isa.ALU, Sem: program.SemAdd,
+			Src: [2]isa.Reg{isa.IntR(1), isa.IntR(11)}, Dest: isa.IntR(12), Width: 64})
+		b.Emit(program.SInst{Op: isa.ALU, Sem: program.SemAddImm,
+			Src: [2]isa.Reg{isa.IntR(0)}, Dest: isa.IntR(2), Imm: 21, Width: 64})
+		b.Emit(program.SInst{Op: isa.Store, Sem: program.SemStore,
+			Src: [2]isa.Reg{isa.IntR(2)}, AddrReg: isa.IntR(12), Imm: 128, Width: 64})
+		b.Emit(program.SInst{Op: isa.Load, Sem: program.SemLoad,
+			Dest: isa.IntR(3), AddrReg: isa.IntR(1), Imm: 128, Width: 64})
+	})
+}
+
+// TestAuditPassesOnPostRecoveryCore runs the recovery-heavy program under
+// every scheme, requires that both recovery flavours actually fired, and
+// audits register conservation afterwards — twice, because the audit's
+// scratch buffer is reused between calls.
+func TestAuditPassesOnPostRecoveryCore(t *testing.T) {
+	for _, kind := range []TrackerKind{TrackerUnlimited, TrackerISRB, TrackerRDA, TrackerMIT, TrackerCounters} {
+		cfg := DefaultConfig()
+		cfg.ME.Enabled = true
+		cfg.SMB.Enabled = true
+		cfg.Tracker.Kind = kind
+		cfg.StoreSets.ClearPeriod = 1000 // keep the trap pattern re-learning
+		c := New(cfg, recoveryHeavyProgram())
+		st := c.Run(0, 30_000)
+		if st.BranchMispredicts == 0 {
+			t.Fatalf("%s: no checkpoint recoveries exercised", kind)
+		}
+		if st.MemTraps == 0 {
+			t.Fatalf("%s: no flush-at-commit recoveries exercised", kind)
+		}
+		if err := c.DrainAndAudit(); err != nil {
+			t.Errorf("%s: post-recovery audit: %v", kind, err)
+		}
+		if err := c.DrainAndAudit(); err != nil {
+			t.Errorf("%s: second audit (scratch reuse): %v", kind, err)
+		}
+	}
+}

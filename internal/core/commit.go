@@ -239,6 +239,7 @@ func (c *Core) commitFlush(e *robEntry) {
 	c.stats.SquashedUops += uint64(nSquashed)
 	c.robHead, c.robTail, c.robCount = 0, 0, 0
 	c.iq = c.iq[:0]
+	c.inflight = c.inflight[:0]
 	c.lqHead, c.lqTail = 0, 0
 	c.sqHead, c.sqTail = 0, 0
 	for i := range c.lq {
@@ -261,11 +262,7 @@ func (c *Core) commitFlush(e *robEntry) {
 	}
 
 	// Front end: committed history and RAS.
-	snap := c.bp.Snapshot()
-	snap.Hist = c.commitHist
-	copy(snap.RAS, c.commitRAS)
-	snap.RASTop = c.commitRASTop
-	c.bp.Restore(&snap)
+	c.bp.RestoreCommitted(c.commitHist, c.commitRAS, c.commitRASTop)
 
 	c.renameCSN = c.commitCSN
 	c.fetchPos = resume

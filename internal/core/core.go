@@ -126,6 +126,11 @@ type fqEntry struct {
 	smbConf      bool
 }
 
+type inflightRef struct {
+	robIdx int
+	csn    uint64
+}
+
 type reclaimItem struct {
 	phys regfile.PhysReg
 	arch isa.Reg
@@ -155,10 +160,13 @@ type Core struct {
 	wrongPC         uint64
 	wrongSeq        uint64
 	fetchStallUntil uint64
-	lastAddrByPC    map[uint64]uint64
-	lastICachePC    uint64
-	fq              []fqEntry
-	fqHead, fqTail  uint64
+	// lastAddr records each memory instruction's most recent correct-path
+	// effective address, indexed by static instruction (wrong-path fetch
+	// replays it for plausible cache behaviour).
+	lastAddr       []uint64
+	lastICachePC   uint64
+	fq             []fqEntry
+	fqHead, fqTail uint64
 
 	// Rename.
 	renameCSN uint64
@@ -175,6 +183,12 @@ type Core struct {
 	// Scheduler.
 	iq []int // robIdx, age-ordered
 
+	// Writeback scan state: issued-but-incomplete µops, so writeback does
+	// not walk the full ROB every cycle. Entries are (robIdx, csn) pairs;
+	// the csn disambiguates slots recycled by a squash.
+	inflight   []inflightRef
+	completing []int // robIdx scratch, csn-sorted per cycle
+
 	// LSQ (rings with absolute ids).
 	lq             []lqEntry
 	lqHead, lqTail uint64
@@ -190,6 +204,10 @@ type Core struct {
 	fpDivBusyUntil  []uint64
 
 	tracer Tracer
+
+	// auditMapped is DrainAndAudit's reachability scratch (one flag per
+	// physical register, reused across invocations).
+	auditMapped []bool
 
 	// Commit side.
 	commitCSN       uint64
@@ -216,15 +234,19 @@ func New(cfg Config, prog *program.Program) *Core {
 		rf:             regfile.NewFile(cfg.PhysRegsPerClass),
 		tracker:        cfg.NewTracker(),
 		me:             moveelim.New(cfg.ME),
-		lastAddrByPC:   make(map[uint64]uint64),
+		lastAddr:       make([]uint64, prog.NumInsts()),
 		rob:            make([]robEntry, cfg.ROBSize),
 		window:         make([]winEntry, 1024),
+		iq:             make([]int, 0, cfg.IQSize),
+		inflight:       make([]inflightRef, 0, cfg.ROBSize),
+		completing:     make([]int, 0, cfg.ROBSize),
 		lq:             make([]lqEntry, cfg.LQSize),
 		sq:             make([]sqEntry, cfg.SQSize),
 		ckpts:          make([]checkpoint, cfg.MaxCheckpoints),
 		fq:             make([]fqEntry, 512),
 		fpDivBusyUntil: make([]uint64, cfg.NumFPMulDiv),
 		commitRAS:      make([]uint64, cfg.Branch.RASEntries),
+		pendingReclaim: make([]reclaimItem, 0, 2*cfg.ROBSize),
 	}
 	c.releaseEpoch[0] = make([]uint32, cfg.PhysRegsPerClass)
 	c.releaseEpoch[1] = make([]uint32, cfg.PhysRegsPerClass)

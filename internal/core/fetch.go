@@ -33,7 +33,11 @@ func (c *Core) fetch() {
 			u = *c.trace.At(c.fetchPos)
 			streamIdx = c.fetchPos
 		} else {
-			if !program.WrongPathUop(c.prog, c.wrongPC, 1<<63|c.wrongSeq, c.lastAddrByPC[c.wrongPC], &u) {
+			var lastAddr uint64
+			if si := c.prog.StaticIndex(c.wrongPC); si >= 0 {
+				lastAddr = c.lastAddr[si]
+			}
+			if !program.WrongPathUop(c.prog, c.wrongPC, 1<<63|c.wrongSeq, lastAddr, &u) {
 				break // fell off static code; wait for recovery
 			}
 			c.wrongSeq++
@@ -107,7 +111,9 @@ func (c *Core) fetch() {
 		} else {
 			if !c.diverged {
 				if u.IsMemRef() {
-					c.lastAddrByPC[u.PC] = u.MemAddr
+					if si := c.prog.StaticIndex(u.PC); si >= 0 {
+						c.lastAddr[si] = u.MemAddr
+					}
 				}
 				c.fetchPos++
 			} else {

@@ -1,0 +1,124 @@
+package core
+
+// Golden rename→commit traces: small hand-written programs whose
+// cycle-level outcomes — cycle count, free-list occupancy after a full
+// drain, and reference-counting totals — are pinned exactly, for every
+// tracker scheme. The simulator is deterministic, so any drift in these
+// numbers means the rename/commit/recovery pipeline changed behaviour,
+// which is precisely what a hot-path refactor must not do.
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// goldenProgram mixes the behaviours the tracker sees: an ME chain
+// (rename-time shares), a constant-distance store→load pair (SMB
+// shares), a chaotic branch (checkpoint recovery rolls the tracker
+// back), and a late-address store (memory trap: flush at commit uses
+// RestoreToCommit).
+func goldenProgram() *program.Program {
+	b := program.NewBuilder("golden", 0x1000)
+	b.Emit(program.SInst{Op: isa.ALU, Sem: program.SemMovImm, Dest: isa.IntR(1), Imm: 0x10000, Width: 64})
+	b.Emit(program.SInst{Op: isa.ALU, Sem: program.SemMovImm, Dest: isa.IntR(0), Imm: 0, Width: 64})
+	b.Label("loop")
+	// ME chain: mov + add, twice.
+	for i := 0; i < 2; i++ {
+		b.Emit(program.SInst{Op: isa.Move, Sem: program.SemMov,
+			Src: [2]isa.Reg{isa.IntR(8)}, Dest: isa.IntR(9), Width: 64})
+		b.Emit(program.SInst{Op: isa.ALU, Sem: program.SemAddImm,
+			Src: [2]isa.Reg{isa.IntR(9)}, Dest: isa.IntR(8), Imm: 1, Width: 64})
+	}
+	// Constant-distance spill/reload: SMB bypass material.
+	b.Emit(program.SInst{Op: isa.ALU, Sem: program.SemAddImm,
+		Src: [2]isa.Reg{isa.IntR(0)}, Dest: isa.IntR(2), Imm: 9, Width: 64})
+	b.Emit(program.SInst{Op: isa.Store, Sem: program.SemStore,
+		Src: [2]isa.Reg{isa.IntR(2)}, AddrReg: isa.IntR(1), Imm: 8, Width: 64})
+	b.Emit(program.SInst{Op: isa.Load, Sem: program.SemLoad,
+		Dest: isa.IntR(3), AddrReg: isa.IntR(1), Imm: 8, Width: 64})
+	b.Emit(program.SInst{Op: isa.ALU, Sem: program.SemAddImm,
+		Src: [2]isa.Reg{isa.IntR(3)}, Dest: isa.IntR(4), Imm: 0, Width: 64})
+	// Chaotic branch: checkpoint recoveries.
+	b.Emit(program.SInst{Op: isa.ALU, Sem: program.SemMulImm,
+		Src: [2]isa.Reg{isa.IntR(5)}, Dest: isa.IntR(5), Imm: 0x9E3779B97F4A7C15, Width: 64})
+	b.EmitBranchTo(program.SInst{Op: isa.Branch, Kind: isa.BrCond, Cond: program.CondBitSet,
+		Src: [2]isa.Reg{isa.IntR(5)}, Imm: 43, Width: 64}, "skip")
+	b.Emit(program.SInst{Op: isa.ALU, Sem: program.SemAddImm,
+		Src: [2]isa.Reg{isa.IntR(6)}, Dest: isa.IntR(6), Imm: 1, Width: 64})
+	b.Label("skip")
+	// Late-address store vs early load: occasional memory trap.
+	b.Emit(program.SInst{Op: isa.Load, Sem: program.SemLoad,
+		Dest: isa.IntR(10), AddrReg: isa.IntR(1), Imm: 64, Width: 64})
+	b.Emit(program.SInst{Op: isa.ALU, Sem: program.SemAndImm,
+		Src: [2]isa.Reg{isa.IntR(10)}, Dest: isa.IntR(11), Imm: 0, Width: 64})
+	b.Emit(program.SInst{Op: isa.ALU, Sem: program.SemAdd,
+		Src: [2]isa.Reg{isa.IntR(1), isa.IntR(11)}, Dest: isa.IntR(12), Width: 64})
+	b.Emit(program.SInst{Op: isa.Store, Sem: program.SemStore,
+		Src: [2]isa.Reg{isa.IntR(2)}, AddrReg: isa.IntR(12), Imm: 128, Width: 64})
+	b.Emit(program.SInst{Op: isa.Load, Sem: program.SemLoad,
+		Dest: isa.IntR(13), AddrReg: isa.IntR(1), Imm: 128, Width: 64})
+	b.Emit(program.SInst{Op: isa.ALU, Sem: program.SemAddImm,
+		Src: [2]isa.Reg{isa.IntR(0)}, Dest: isa.IntR(0), Imm: 1, Width: 64})
+	b.EmitBranchTo(program.SInst{Op: isa.Branch, Kind: isa.BrUncond, Cond: program.CondAlways,
+		Src: [2]isa.Reg{isa.IntR(0)}, Width: 64}, "loop")
+	return b.MustBuild()
+}
+
+// goldenOutcome is what one scheme's run must reproduce exactly.
+type goldenOutcome struct {
+	cycles    uint64
+	sharesME  uint64
+	sharesSMB uint64
+	frees     uint64
+	restores  uint64
+	intFree   int // INT free-list occupancy after drain
+	fpFree    int // FP free-list occupancy after drain
+}
+
+func runGolden(t *testing.T, kind TrackerKind) goldenOutcome {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.ME.Enabled = true
+	cfg.SMB.Enabled = true
+	cfg.Tracker.Kind = kind
+	c := New(cfg, goldenProgram())
+	st := c.Run(2_000, 20_000)
+	if err := c.DrainAndAudit(); err != nil {
+		t.Fatalf("%s: audit after golden run: %v", kind, err)
+	}
+	ts := c.Tracker().Stats()
+	return goldenOutcome{
+		cycles:    st.Cycles,
+		sharesME:  ts.SharesME,
+		sharesSMB: ts.SharesSMB,
+		frees:     ts.Frees,
+		restores:  ts.Restores,
+		intFree:   c.rf.FreeList(isa.IntReg).Len(),
+		fpFree:    c.rf.FreeList(isa.FPReg).Len(),
+	}
+}
+
+// TestGoldenRenameToCommit pins the exact cycle-level outcome of the
+// golden program for every reference-counting scheme. The per-scheme
+// stories the numbers tell: the ISRB tracks slightly fewer SMB shares
+// than the ideal tracker (finite entries saturate), the MIT rejects SMB
+// entirely so the run is slower and an extra INT register stays
+// architecturally shared, and per-register counters pay a sequential
+// recovery walk after every flush (the ~20% cycle inflation).
+func TestGoldenRenameToCommit(t *testing.T) {
+	want := map[TrackerKind]goldenOutcome{
+		TrackerUnlimited: {cycles: 22629, sharesME: 7514, sharesSMB: 9962, frees: 4054, restores: 626, intFree: 241, fpFree: 240},
+		TrackerISRB:      {cycles: 22629, sharesME: 7514, sharesSMB: 9895, frees: 4054, restores: 626, intFree: 241, fpFree: 240},
+		TrackerRDA:       {cycles: 22629, sharesME: 7514, sharesSMB: 9962, frees: 4054, restores: 626, intFree: 241, fpFree: 240},
+		TrackerMIT:       {cycles: 22630, sharesME: 7514, sharesSMB: 0, frees: 2519, restores: 626, intFree: 240, fpFree: 240},
+		TrackerCounters:  {cycles: 27109, sharesME: 7512, sharesSMB: 9962, frees: 4054, restores: 626, intFree: 241, fpFree: 240},
+	}
+	for _, kind := range []TrackerKind{TrackerUnlimited, TrackerISRB, TrackerRDA, TrackerMIT, TrackerCounters} {
+		got := runGolden(t, kind)
+		if got != want[kind] {
+			t.Errorf("%s: outcome %+v, want %+v", kind, got, want[kind])
+		}
+	}
+}

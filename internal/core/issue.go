@@ -145,7 +145,7 @@ func (c *Core) freeFPDivUnit() int {
 func (c *Core) execute(idx int, e *robEntry, latency uint64) {
 	e.issued = true
 	e.readyAt = c.cycle + latency
-	_ = idx
+	c.inflight = append(c.inflight, inflightRef{robIdx: idx, csn: e.csn})
 }
 
 // issueLoad performs the load's memory access: store-queue search with
@@ -153,6 +153,7 @@ func (c *Core) execute(idx int, e *robEntry, latency uint64) {
 // until the store's writeback, or a cache access.
 func (c *Core) issueLoad(idx int, e *robEntry) {
 	e.issued = true
+	c.inflight = append(c.inflight, inflightRef{robIdx: idx, csn: e.csn})
 	l := &c.lq[uint64(e.lqIdx)%uint64(len(c.lq))]
 	l.issued = true
 

@@ -116,5 +116,16 @@ func (c *Core) squashAfter(keepIdx int, csn uint64) int {
 		}
 	}
 	c.iq = keep
+	// Prune the in-flight completion list: the rename CSN counter rolls
+	// back on recovery, so stale references must not survive into a
+	// region where their (slot, csn) pair could be recycled.
+	keepIF := c.inflight[:0]
+	for _, ref := range c.inflight {
+		e := &c.rob[ref.robIdx]
+		if e.valid && e.csn == ref.csn {
+			keepIF = append(keepIF, ref)
+		}
+	}
+	c.inflight = keepIF
 	return n
 }

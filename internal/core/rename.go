@@ -351,6 +351,7 @@ func (c *Core) freeCheckpointSlot() int {
 func (c *Core) releaseCheckpoint(idx int) {
 	if idx >= 0 && c.ckpts[idx].inUse {
 		c.ckpts[idx].inUse = false
+		c.tracker.ReleaseSnapshot(c.ckpts[idx].tracker)
 		c.ckpts[idx].tracker = nil
 		c.liveCkpts--
 		c.noteCheckpointCount()

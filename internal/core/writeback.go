@@ -7,18 +7,57 @@ import "repro/internal/isa"
 // against the data from the memory hierarchy (§3.2), runs the memory-order
 // violation check when stores resolve their addresses, and resolves
 // branches — triggering checkpoint recovery on a misprediction.
+//
+// Instead of walking the full ROB every cycle it scans the in-flight
+// list (issued-but-incomplete µops, maintained by issue and pruned on
+// squashes). Completions are applied oldest-first, exactly like the old
+// ROB-order scan — the order is architecturally visible through the
+// memory-order violation checks, which consult other µops' executed
+// state.
 func (c *Core) writeback() {
+	keep := c.inflight[:0]
+	completing := c.completing[:0]
+	for _, ref := range c.inflight {
+		e := &c.rob[ref.robIdx]
+		if !e.valid || e.csn != ref.csn || !e.issued || e.completed {
+			continue // squashed, or the slot was recycled
+		}
+		if e.readyAt > c.cycle {
+			keep = append(keep, ref)
+			continue
+		}
+		completing = append(completing, ref.robIdx)
+	}
+	c.inflight = keep
+
+	// Oldest first (insertion sort: completions per cycle are few).
+	for i := 1; i < len(completing); i++ {
+		for j := i; j > 0 && c.rob[completing[j]].csn < c.rob[completing[j-1]].csn; j-- {
+			completing[j], completing[j-1] = completing[j-1], completing[j]
+		}
+	}
+
 	mispredIdx := -1
-	c.forEachROB(func(idx int, e *robEntry) bool {
-		if !e.issued || e.completed || e.readyAt > c.cycle {
-			return true
+	for _, idx := range completing {
+		e := &c.rob[idx]
+		if e.completed {
+			continue
+		}
+		if e.readyAt > c.cycle {
+			// An older µop completing this same cycle pushed this one's
+			// completion into the future (a store's checkViolations
+			// re-running a bypassed load's validation access). The old
+			// ROB-order scan re-checked readyAt at visit time; re-queue
+			// the µop so it completes when the new time arrives.
+			c.inflight = append(c.inflight, inflightRef{robIdx: idx, csn: e.csn})
+			continue
 		}
 		c.complete(idx, e)
 		if mispredIdx < 0 && e.u.IsBranch() && !e.u.WrongPath && e.fetchMispred {
 			mispredIdx = idx
 		}
-		return true
-	})
+	}
+	c.completing = completing[:0]
 	if mispredIdx >= 0 {
 		c.recoverFromBranch(mispredIdx)
 	}

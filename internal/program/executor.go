@@ -13,7 +13,7 @@ import (
 type Executor struct {
 	prog *Program
 	regs [2][isa.NumArchRegs]uint64
-	mem  map[uint64]uint64
+	mem  *PagedMem
 	pc   uint64
 	rets []uint64
 	seq  uint64
@@ -24,11 +24,15 @@ type Executor struct {
 func NewExecutor(p *Program) *Executor {
 	e := &Executor{
 		prog: p,
-		mem:  make(map[uint64]uint64, len(p.InitMem)),
+		mem:  NewPagedMem(),
 		pc:   p.Entry(),
 	}
 	for a, v := range p.InitMem {
-		e.mem[a] = v
+		if a&7 == 0 {
+			e.mem.Store(a>>3, v)
+		}
+		// Unaligned seed addresses were unreachable under the old raw-key
+		// map too (loads and stores key on the aligned word).
 	}
 	e.regs = p.InitRegs
 	return e
@@ -47,8 +51,10 @@ func (e *Executor) setReg(r isa.Reg, v uint64) {
 	}
 }
 
-func (e *Executor) load(addr uint64) uint64 { return e.mem[addr&^7] }
-func (e *Executor) store(addr, v uint64)    { e.mem[addr&^7] = v }
+// Memory is keyed by 8-byte word index (addr>>3 drops the byte offset
+// the &^7 masking used to), so PagedMem pages cover their full span.
+func (e *Executor) load(addr uint64) uint64 { return e.mem.LoadZero(addr >> 3) }
+func (e *Executor) store(addr, v uint64)    { e.mem.Store(addr>>3, v) }
 
 // evalValue computes an instruction's result value.
 func (e *Executor) evalValue(in *SInst, addr uint64) uint64 {

@@ -1,0 +1,71 @@
+package program
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestPagedMemMatchesMap: PagedMem must behave exactly like a
+// map[uint64]uint64 for random sparse key/value traffic, including
+// stored zeros, max values, and page-boundary keys.
+func TestPagedMemMatchesMap(t *testing.T) {
+	pm := NewPagedMem()
+	ref := map[uint64]uint64{}
+	r := rng.New(42)
+	keyOf := func() uint64 {
+		base := []uint64{0, 1, 4095, 4096, 4097, 1 << 20, 1 << 40, ^uint64(0) >> 1}[r.Intn(8)]
+		return base + uint64(r.Intn(64))
+	}
+	for i := 0; i < 200_000; i++ {
+		k := keyOf()
+		if r.Bool(0.5) {
+			v := r.Uint64()
+			switch r.Intn(4) {
+			case 0:
+				v = 0
+			case 1:
+				v = ^uint64(0)
+			}
+			pm.Store(k, v)
+			ref[k] = v
+		} else {
+			got, ok := pm.Load(k)
+			want, wantOK := ref[k]
+			if got != want || ok != wantOK {
+				t.Fatalf("Load(%d) = (%d, %v), want (%d, %v)", k, got, ok, want, wantOK)
+			}
+			if z := pm.LoadZero(k); z != want {
+				t.Fatalf("LoadZero(%d) = %d, want %d", k, z, want)
+			}
+		}
+	}
+}
+
+// TestStaticIndexBounds: the dense PC lookup must accept exactly the
+// program's PCs and reject everything else (misaligned, below base,
+// past the end) — wrong-path fetch probes all of those.
+func TestStaticIndexBounds(t *testing.T) {
+	b := NewBuilder("idx", 0x4000)
+	for i := 0; i < 5; i++ {
+		b.Emit(SInst{Sem: SemNop})
+	}
+	p := b.MustBuild()
+	for i := 0; i < 5; i++ {
+		pc := uint64(0x4000 + 4*i)
+		if got := p.StaticIndex(pc); got != i {
+			t.Fatalf("StaticIndex(%#x) = %d, want %d", pc, got, i)
+		}
+		if in, ok := p.StaticAt(pc); !ok || in.PC != pc {
+			t.Fatalf("StaticAt(%#x) = (%v, %v)", pc, in, ok)
+		}
+	}
+	for _, pc := range []uint64{0x3FFC, 0x4001, 0x4002, 0x4014, 0, ^uint64(0)} {
+		if got := p.StaticIndex(pc); got != -1 {
+			t.Fatalf("StaticIndex(%#x) = %d, want -1", pc, got)
+		}
+		if _, ok := p.StaticAt(pc); ok {
+			t.Fatalf("StaticAt(%#x) unexpectedly ok", pc)
+		}
+	}
+}

@@ -99,7 +99,6 @@ type SInst struct {
 type Program struct {
 	Name  string
 	insts []SInst
-	byPC  map[uint64]int
 	entry uint64
 	// InitMem seeds functional memory (8-byte granularity).
 	InitMem map[uint64]uint64
@@ -113,10 +112,23 @@ func (p *Program) Entry() uint64 { return p.entry }
 // NumInsts returns the static instruction count.
 func (p *Program) NumInsts() int { return len(p.insts) }
 
+// StaticIndex returns the dense instruction index of pc, or -1 when pc is
+// outside the program. The Builder assigns PCs contiguously 4 bytes
+// apart, so the lookup is pure arithmetic — StaticAt sits on the
+// simulator's fetch path (including wrong-path fetch) and must not cost
+// a map probe per µop.
+func (p *Program) StaticIndex(pc uint64) int {
+	off := pc - p.insts[0].PC
+	if off%4 != 0 || off/4 >= uint64(len(p.insts)) {
+		return -1
+	}
+	return int(off / 4)
+}
+
 // StaticAt returns the static instruction at pc.
 func (p *Program) StaticAt(pc uint64) (*SInst, bool) {
-	i, ok := p.byPC[pc]
-	if !ok {
+	i := p.StaticIndex(pc)
+	if i < 0 {
 		return nil, false
 	}
 	return &p.insts[i], true
@@ -206,12 +218,8 @@ func (b *Builder) Build() (*Program, error) {
 	p := &Program{
 		Name:    b.name,
 		insts:   b.insts,
-		byPC:    make(map[uint64]int, len(b.insts)),
 		entry:   b.insts[0].PC,
 		InitMem: b.initMem,
-	}
-	for i := range p.insts {
-		p.byPC[p.insts[i].PC] = i
 	}
 	return p, nil
 }

@@ -1,0 +1,51 @@
+package refcount
+
+// Microbenchmarks for the tracker hot path in isolation: the share /
+// commit-probe cycle rename and commit drive every µop, and the
+// checkpoint/restore cycle taken at every branch. All must run
+// allocation-free in steady state.
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/regfile"
+)
+
+func benchShareCommit(b *testing.B, tr Tracker) {
+	b.Helper()
+	regs := [8]regfile.PhysReg{}
+	for i := range regs {
+		regs[i] = regfile.MakePhys(isa.IntReg, 32+i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := regs[i&7]
+		tr.TryShare(p, KindME, isa.IntR(1), isa.IntR(2))
+		tr.OnCommitShare(p)
+		tr.OnCommitOverwrite(p, isa.IntR(1))
+		tr.OnCommitOverwrite(p, isa.IntR(1))
+	}
+}
+
+func benchCheckpointRestore(b *testing.B, tr Tracker) {
+	b.Helper()
+	for i := 0; i < 8; i++ {
+		tr.TryShare(regfile.MakePhys(isa.IntReg, 32+i), KindME, isa.IntR(1), isa.IntR(2))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := tr.Checkpoint()
+		tr.TryShare(regfile.MakePhys(isa.IntReg, 32+(i&7)), KindSMB, isa.IntR(3), isa.NoReg)
+		tr.Restore(s)
+		tr.ReleaseSnapshot(s)
+	}
+}
+
+func BenchmarkISRBShareCommit(b *testing.B)      { benchShareCommit(b, NewISRB(32, 3)) }
+func BenchmarkUnlimitedShareCommit(b *testing.B) { benchShareCommit(b, NewUnlimited()) }
+
+func BenchmarkISRBCheckpointRestore(b *testing.B)      { benchCheckpointRestore(b, NewISRB(32, 3)) }
+func BenchmarkUnlimitedCheckpointRestore(b *testing.B) { benchCheckpointRestore(b, NewUnlimited()) }

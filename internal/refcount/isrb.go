@@ -35,6 +35,9 @@ type ISRB struct {
 	ctrMax  uint8
 	ctrBits int
 	stats   Stats
+
+	snapPool []*isrbSnapshot
+	freed    []regfile.PhysReg // scratch returned by Restore/RestoreToCommit
 }
 
 type isrbEntry struct {
@@ -54,7 +57,12 @@ type isrbSnapSlot struct {
 	ref uint8
 }
 
-type isrbSnapshot []isrbSnapSlot
+// isrbSnapshot is handed out behind a pointer: storing a bare slice in
+// the Snapshot interface would heap-box its header on every checkpoint,
+// defeating the snapshot pool.
+type isrbSnapshot struct {
+	slots []isrbSnapSlot
+}
 
 // NewISRB builds an ISRB with the given number of entries and counter
 // width in bits (the paper finds 3 bits sufficient, §6.3).
@@ -152,9 +160,10 @@ func (b *ISRB) OnCommitShare(p regfile.PhysReg) {
 
 // RestoreToCommit implements Tracker: roll every entry's referenced count
 // back to its architectural value, applying the same freeing rules as
-// checkpoint recovery.
+// checkpoint recovery. The returned slice is scratch owned by the
+// tracker, valid until the next Restore/RestoreToCommit call.
 func (b *ISRB) RestoreToCommit() []regfile.PhysReg {
-	var freed []regfile.PhysReg
+	freed := b.freed[:0]
 	for i := range b.entries {
 		e := &b.entries[i]
 		if !e.valid {
@@ -172,6 +181,7 @@ func (b *ISRB) RestoreToCommit() []regfile.PhysReg {
 			e.ref = ref
 		}
 	}
+	b.freed = freed
 	return freed
 }
 
@@ -180,15 +190,32 @@ func (b *ISRB) IsShared(p regfile.PhysReg) bool { return b.find(p) != nil }
 
 // Checkpoint implements Tracker: it captures the referenced field (and
 // generation tag) of every entry — n bits × entries of real storage.
+// Snapshots are immutable once taken; released ones (ReleaseSnapshot)
+// are pooled, so steady-state checkpointing performs no allocation.
 func (b *ISRB) Checkpoint() Snapshot {
-	s := make(isrbSnapshot, len(b.entries))
+	var s *isrbSnapshot
+	if n := len(b.snapPool); n > 0 {
+		s = b.snapPool[n-1]
+		b.snapPool = b.snapPool[:n-1]
+	} else {
+		s = &isrbSnapshot{slots: make([]isrbSnapSlot, len(b.entries))}
+	}
 	for i := range b.entries {
-		s[i].gen = b.entries[i].gen
+		s.slots[i].gen = b.entries[i].gen
+		s.slots[i].ref = 0
 		if b.entries[i].valid {
-			s[i].ref = b.entries[i].ref
+			s.slots[i].ref = b.entries[i].ref
 		}
 	}
 	return s
+}
+
+// ReleaseSnapshot implements Tracker, returning a snapshot's storage to
+// the pool.
+func (b *ISRB) ReleaseSnapshot(s Snapshot) {
+	if snap, ok := s.(*isrbSnapshot); ok && len(snap.slots) == len(b.entries) {
+		b.snapPool = append(b.snapPool, snap)
+	}
 }
 
 // Restore implements Tracker, applying the recovery rules of §4.3.1/§4.3.2:
@@ -198,12 +225,13 @@ func (b *ISRB) Checkpoint() Snapshot {
 // freed (the register is covered by the Free List head restore or by a
 // pre-checkpoint commit).
 func (b *ISRB) Restore(s Snapshot) []regfile.PhysReg {
-	snap, ok := s.(isrbSnapshot)
-	if !ok || len(snap) != len(b.entries) {
+	sp, ok := s.(*isrbSnapshot)
+	if !ok || len(sp.slots) != len(b.entries) {
 		panic("refcount: foreign snapshot passed to ISRB.Restore")
 	}
+	snap := sp.slots
 	b.stats.Restores++
-	var freed []regfile.PhysReg
+	freed := b.freed[:0]
 	for i := range b.entries {
 		e := &b.entries[i]
 		if !e.valid {
@@ -234,6 +262,7 @@ func (b *ISRB) Restore(s Snapshot) []regfile.PhysReg {
 			}
 		}
 	}
+	b.freed = freed
 	return freed
 }
 

@@ -60,6 +60,9 @@ func (m *MIT) IsShared(p regfile.PhysReg) bool { return m.inner.IsShared(p) }
 // Checkpoint implements Tracker.
 func (m *MIT) Checkpoint() Snapshot { return m.inner.Checkpoint() }
 
+// ReleaseSnapshot implements Tracker.
+func (m *MIT) ReleaseSnapshot(s Snapshot) { m.inner.ReleaseSnapshot(s) }
+
 // Restore implements Tracker.
 func (m *MIT) Restore(s Snapshot) []regfile.PhysReg { return m.inner.Restore(s) }
 

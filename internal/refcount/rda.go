@@ -71,6 +71,9 @@ func (r *RDA) IsShared(p regfile.PhysReg) bool { return r.inner.IsShared(p) }
 // Checkpoint implements Tracker.
 func (r *RDA) Checkpoint() Snapshot { return r.inner.Checkpoint() }
 
+// ReleaseSnapshot implements Tracker.
+func (r *RDA) ReleaseSnapshot(s Snapshot) { r.inner.ReleaseSnapshot(s) }
+
 // Restore implements Tracker.
 func (r *RDA) Restore(s Snapshot) []regfile.PhysReg { return r.inner.Restore(s) }
 

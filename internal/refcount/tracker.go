@@ -101,18 +101,29 @@ type Tracker interface {
 	IsShared(p regfile.PhysReg) bool
 
 	// Checkpoint captures the recoverable state (taken at every branch).
+	// Snapshots are immutable; a caller done with one should hand it to
+	// ReleaseSnapshot so its storage can be reused.
 	Checkpoint() Snapshot
+
+	// ReleaseSnapshot returns a snapshot obtained from Checkpoint to the
+	// tracker's internal pool. The snapshot must not be used afterwards.
+	// Releasing is optional (a dropped snapshot is merely garbage) but
+	// keeps steady-state checkpointing allocation-free.
+	ReleaseSnapshot(s Snapshot)
 
 	// Restore rolls the tracker back to s and returns the registers that
 	// recovery determined are free now (the committed > referenced case
-	// of §4.3.1); the caller pushes them to the free list.
+	// of §4.3.1); the caller pushes them to the free list. The returned
+	// slice is scratch owned by the tracker: it is valid only until the
+	// next Restore/RestoreToCommit call.
 	Restore(s Snapshot) []regfile.PhysReg
 
 	// RestoreToCommit discards all speculative references, rolling the
 	// tracker back to the architectural (committed) reference counts.
 	// Used for flushes taking place at Commit, which restore the renamer
 	// from the Commit Rename Map with no checkpoint (§4.1). Returns
-	// registers freed by the rollback.
+	// registers freed by the rollback, as a tracker-owned scratch slice
+	// with the same lifetime rule as Restore's.
 	RestoreToCommit() []regfile.PhysReg
 
 	// SquashPenalty returns the extra recovery cycles the scheme needs

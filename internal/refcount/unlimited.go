@@ -9,9 +9,27 @@ import (
 // against ("unlimited ISRB with 32-bit fields", §6.3): every physical
 // register can be tracked, counters never saturate, and recovery is still
 // checkpoint-based. It uses the same dual up-counter semantics as the ISRB.
+//
+// Storage is a sparse set over flat per-class slices indexed by physical
+// register: entry lookup is an array index (the rename/commit hot path
+// probes it every cycle), and the dense `tracked` list makes checkpoints
+// and recovery walks proportional to the number of tracked registers, not
+// the register file size. The old map-backed representation allocated an
+// entry per first share and a map per checkpoint; this one allocates only
+// when the register file grows past what it has seen (never in steady
+// state).
 type Unlimited struct {
-	m     map[regfile.PhysReg]*unlEntry
-	stats Stats
+	entries [2][]unlEntry
+	tracked []regfile.PhysReg
+	stats   Stats
+
+	snapPool []*unlimitedSnapshot
+	freed    []regfile.PhysReg // scratch returned by Restore/RestoreToCommit
+
+	// Restore scratch: snapshot values spread per register, validated by
+	// an epoch stamp so the slices never need clearing.
+	scratch      [2][]unlScratch
+	scratchEpoch uint32
 }
 
 type unlEntry struct {
@@ -19,29 +37,74 @@ type unlEntry struct {
 	com     uint32
 	archRef uint32
 	gen     uint32
+	pos     int32 // index into tracked; -1 when untracked
+}
+
+type unlScratch struct {
+	epoch uint32
+	gen   uint32
+	ref   uint32
 }
 
 type unlSnap struct {
+	p   regfile.PhysReg
 	gen uint32
 	ref uint32
 }
 
-type unlimitedSnapshot map[regfile.PhysReg]unlSnap
+// unlimitedSnapshot is handed out behind a pointer: storing a bare slice
+// in the Snapshot interface would heap-box its header on every
+// checkpoint, defeating the snapshot pool.
+type unlimitedSnapshot struct {
+	regs []unlSnap
+}
 
 // NewUnlimited builds the ideal tracker.
 func NewUnlimited() *Unlimited {
-	return &Unlimited{m: make(map[regfile.PhysReg]*unlEntry)}
+	return &Unlimited{}
 }
 
 // Name implements Tracker.
 func (u *Unlimited) Name() string { return "unlimited" }
 
+// entry returns the slot for p, growing the class slice on first contact
+// with a register index (amortized; steady-state lookups never grow).
+func (u *Unlimited) entry(p regfile.PhysReg) *unlEntry {
+	c, idx := p.Class(), p.Index()
+	s := u.entries[c]
+	for len(s) <= idx {
+		s = append(s, unlEntry{pos: -1})
+	}
+	u.entries[c] = s
+	return &s[idx]
+}
+
+// peek returns the slot for p without growing, nil if never seen.
+func (u *Unlimited) peek(p regfile.PhysReg) *unlEntry {
+	c, idx := p.Class(), p.Index()
+	if idx >= len(u.entries[c]) {
+		return nil
+	}
+	return &u.entries[c][idx]
+}
+
+func (u *Unlimited) untrack(e *unlEntry) {
+	last := len(u.tracked) - 1
+	moved := u.tracked[last]
+	u.tracked[e.pos] = moved
+	u.entries[moved.Class()][moved.Index()].pos = e.pos
+	u.tracked = u.tracked[:last]
+	e.pos = -1
+}
+
 // TryShare implements Tracker; it never fails.
 func (u *Unlimited) TryShare(p regfile.PhysReg, kind Kind, dst, src isa.Reg) bool {
-	e := u.m[p]
-	if e == nil {
-		e = &unlEntry{gen: uint32(u.stats.EntryAllocs<<1 | 1)}
-		u.m[p] = e
+	e := u.entry(p)
+	if e.pos < 0 {
+		e.gen++
+		e.ref, e.com, e.archRef = 0, 0, 0
+		e.pos = int32(len(u.tracked))
+		u.tracked = append(u.tracked, p)
 		u.stats.EntryAllocs++
 	}
 	e.ref++
@@ -56,13 +119,13 @@ func (u *Unlimited) TryShare(p regfile.PhysReg, kind Kind, dst, src isa.Reg) boo
 // OnCommitOverwrite implements Tracker.
 func (u *Unlimited) OnCommitOverwrite(p regfile.PhysReg, arch isa.Reg) bool {
 	u.stats.CommitChecks++
-	e := u.m[p]
-	if e == nil {
+	e := u.peek(p)
+	if e == nil || e.pos < 0 {
 		return true
 	}
 	u.stats.CommitHits++
 	if e.ref == e.com {
-		delete(u.m, p)
+		u.untrack(e)
 		u.stats.Frees++
 		return true
 	}
@@ -72,65 +135,107 @@ func (u *Unlimited) OnCommitOverwrite(p regfile.PhysReg, arch isa.Reg) bool {
 
 // OnCommitShare implements Tracker.
 func (u *Unlimited) OnCommitShare(p regfile.PhysReg) {
-	if e := u.m[p]; e != nil && e.archRef < e.ref {
+	if e := u.peek(p); e != nil && e.pos >= 0 && e.archRef < e.ref {
 		e.archRef++
 	}
 }
 
-// RestoreToCommit implements Tracker.
+// RestoreToCommit implements Tracker. The returned slice is scratch owned
+// by the tracker, valid until the next Restore/RestoreToCommit call.
 func (u *Unlimited) RestoreToCommit() []regfile.PhysReg {
-	var freed []regfile.PhysReg
-	for p, e := range u.m {
+	u.freed = u.freed[:0]
+	for i := len(u.tracked) - 1; i >= 0; i-- {
+		p := u.tracked[i]
+		e := u.peek(p)
 		ref := e.archRef
 		switch {
 		case e.com > ref:
-			delete(u.m, p)
-			freed = append(freed, p)
+			u.untrack(e)
+			u.freed = append(u.freed, p)
 			u.stats.RecoveryFrees++
 		case ref == 0 && e.com == 0:
-			delete(u.m, p)
+			u.untrack(e)
 		default:
 			e.ref = ref
 		}
 	}
-	return freed
+	return u.freed
 }
 
 // IsShared implements Tracker.
 func (u *Unlimited) IsShared(p regfile.PhysReg) bool {
-	_, ok := u.m[p]
-	return ok
+	e := u.peek(p)
+	return e != nil && e.pos >= 0
 }
 
-// Checkpoint implements Tracker.
+// Checkpoint implements Tracker. Snapshots are immutable once taken;
+// released ones (ReleaseSnapshot) are pooled for reuse, so steady-state
+// checkpointing performs no allocation.
 func (u *Unlimited) Checkpoint() Snapshot {
-	s := make(unlimitedSnapshot, len(u.m))
-	for p, e := range u.m {
-		s[p] = unlSnap{gen: e.gen, ref: e.ref}
+	var s *unlimitedSnapshot
+	if n := len(u.snapPool); n > 0 {
+		s = u.snapPool[n-1]
+		s.regs = s.regs[:0]
+		u.snapPool = u.snapPool[:n-1]
+	} else {
+		s = &unlimitedSnapshot{regs: make([]unlSnap, 0, len(u.tracked))}
+	}
+	for _, p := range u.tracked {
+		e := u.peek(p)
+		s.regs = append(s.regs, unlSnap{p: p, gen: e.gen, ref: e.ref})
 	}
 	return s
 }
 
+// ReleaseSnapshot implements Tracker, returning a snapshot's storage to
+// the pool.
+func (u *Unlimited) ReleaseSnapshot(s Snapshot) {
+	if snap, ok := s.(*unlimitedSnapshot); ok {
+		u.snapPool = append(u.snapPool, snap)
+	}
+}
+
 // Restore implements Tracker with the same recovery rules as the ISRB.
+// The returned slice is scratch owned by the tracker, valid until the
+// next Restore/RestoreToCommit call.
 func (u *Unlimited) Restore(s Snapshot) []regfile.PhysReg {
-	snap, ok := s.(unlimitedSnapshot)
+	snap, ok := s.(*unlimitedSnapshot)
 	if !ok {
 		panic("refcount: foreign snapshot passed to Unlimited.Restore")
 	}
 	u.stats.Restores++
-	var freed []regfile.PhysReg
-	for p, e := range u.m {
+
+	// Spread the snapshot into the per-register scratch so the walk over
+	// currently-tracked registers is O(1) per lookup.
+	u.scratchEpoch++
+	for _, sv := range snap.regs {
+		c, idx := sv.p.Class(), sv.p.Index()
+		sc := u.scratch[c]
+		for len(sc) <= idx {
+			sc = append(sc, unlScratch{})
+		}
+		u.scratch[c] = sc
+		sc[idx] = unlScratch{epoch: u.scratchEpoch, gen: sv.gen, ref: sv.ref}
+	}
+
+	u.freed = u.freed[:0]
+	for i := len(u.tracked) - 1; i >= 0; i-- {
+		p := u.tracked[i]
+		e := u.peek(p)
 		ref := uint32(0)
-		if sv, ok := snap[p]; ok && sv.gen == e.gen {
-			ref = sv.ref
+		c, idx := p.Class(), p.Index()
+		if idx < len(u.scratch[c]) {
+			if sc := &u.scratch[c][idx]; sc.epoch == u.scratchEpoch && sc.gen == e.gen {
+				ref = sc.ref
+			}
 		}
 		switch {
 		case e.com > ref:
-			delete(u.m, p)
-			freed = append(freed, p)
+			u.untrack(e)
+			u.freed = append(u.freed, p)
 			u.stats.RecoveryFrees++
 		case ref == 0 && e.com == 0:
-			delete(u.m, p)
+			u.untrack(e)
 		default:
 			e.ref = ref
 			if e.archRef > e.ref {
@@ -138,7 +243,7 @@ func (u *Unlimited) Restore(s Snapshot) []regfile.PhysReg {
 			}
 		}
 	}
-	return freed
+	return u.freed
 }
 
 // SquashPenalty implements Tracker.
@@ -159,6 +264,6 @@ func (u *Unlimited) Storage() StorageCost {
 func (u *Unlimited) Stats() *Stats { return &u.stats }
 
 // TrackedCount returns the number of currently tracked registers.
-func (u *Unlimited) TrackedCount() int { return len(u.m) }
+func (u *Unlimited) TrackedCount() int { return len(u.tracked) }
 
 var _ Tracker = (*Unlimited)(nil)

@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// This file is the performance-tracking half of the runner: a pinned
+// workload set, a wall-clock harness measuring simulated cycles per
+// second, and the BENCH_*.json report every PR appends to so the
+// simulator's raw speed has a recorded trajectory (ROADMAP: "as fast as
+// the hardware allows").
+
+// BenchSchema tags the report layout; bump it when BenchReport changes
+// incompatibly.
+const BenchSchema = "bench-1"
+
+// BenchPoint names one pinned measurement: a benchmark from the catalog
+// simulated under one tracker scheme with the full optimization stack
+// (ME + SMB + lazy reclaim) enabled, so the measurement exercises the
+// rename/issue/writeback/commit hot path and the reference-counting
+// machinery together.
+type BenchPoint struct {
+	Bench   string
+	Tracker core.TrackerKind
+	Warmup  uint64
+	Measure uint64
+}
+
+// BenchResult is one executed BenchPoint.
+type BenchResult struct {
+	Bench        string  `json:"bench"`
+	Tracker      string  `json:"tracker"`
+	Cycles       uint64  `json:"cycles"`
+	Committed    uint64  `json:"committed"`
+	IPC          float64 `json:"ipc"`
+	WallNS       int64   `json:"wall_ns"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+}
+
+// BenchBaseline is an earlier report's aggregate, embedded so a report
+// is self-contained evidence of a speedup (or regression).
+type BenchBaseline struct {
+	Label        string  `json:"label"`
+	GMeanCPS     float64 `json:"gmean_cycles_per_sec"`
+	TotalWallNS  int64   `json:"total_wall_ns"`
+	GMeanWallNS  float64 `json:"gmean_wall_ns"`
+	SchemaOfFile string  `json:"schema,omitempty"`
+}
+
+// BenchReport is the full BENCH_*.json payload.
+type BenchReport struct {
+	Schema      string        `json:"schema"`
+	Label       string        `json:"label,omitempty"`
+	GoVersion   string        `json:"go_version"`
+	GOARCH      string        `json:"goarch"`
+	NumCPU      int           `json:"num_cpu"`
+	Quick       bool          `json:"quick"`
+	Points      []BenchResult `json:"points"`
+	TotalWallNS int64         `json:"total_wall_ns"`
+	// GMeanWallNS is the geometric mean of per-point wall times.
+	GMeanWallNS float64 `json:"gmean_wall_ns"`
+	// GMeanCPS is the geometric mean of per-point simulated cycles/sec —
+	// the headline number the acceptance criteria track.
+	GMeanCPS float64 `json:"gmean_cycles_per_sec"`
+
+	Baseline *BenchBaseline `json:"baseline,omitempty"`
+	// SpeedupVsBaseline is GMeanCPS / Baseline.GMeanCPS when a baseline
+	// is embedded.
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// benchConfig is the pinned machine configuration: Table 1 with the full
+// optimization stack on, parameterized by tracker scheme only. Pinning it
+// here (rather than taking a Config) keeps every PR's BENCH_*.json
+// comparable.
+func benchConfig(kind core.TrackerKind) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.ME.Enabled = true
+	cfg.SMB.Enabled = true
+	cfg.SMB.BypassCommitted = true
+	cfg.Tracker.Kind = kind
+	return cfg
+}
+
+// BenchPoints returns the pinned workload set. quick selects the 3-point
+// smoke subset CI runs on every push; the full set covers integer and FP
+// benchmarks with diverse bottlenecks (move-rich, trap-rich, pointer
+// chasing, streaming) under both the ISRB and the unlimited tracker.
+func BenchPoints(quick bool) []BenchPoint {
+	if quick {
+		return []BenchPoint{
+			{Bench: "gzip", Tracker: core.TrackerISRB, Warmup: 20_000, Measure: 100_000},
+			{Bench: "crafty", Tracker: core.TrackerISRB, Warmup: 20_000, Measure: 100_000},
+			{Bench: "wupwise", Tracker: core.TrackerISRB, Warmup: 20_000, Measure: 100_000},
+		}
+	}
+	benches := []string{"gzip", "crafty", "hmmer", "mcf", "astar", "wupwise", "swim", "namd"}
+	var pts []BenchPoint
+	for _, b := range benches {
+		for _, k := range []core.TrackerKind{core.TrackerISRB, core.TrackerUnlimited} {
+			pts = append(pts, BenchPoint{Bench: b, Tracker: k, Warmup: 50_000, Measure: 300_000})
+		}
+	}
+	return pts
+}
+
+// RunBench executes the pinned points sequentially on one goroutine (the
+// measurement is wall-clock, so the harness must not share the machine
+// with its own sibling runs) and aggregates the report. progress may be
+// nil; otherwise it is invoked after each point.
+func RunBench(points []BenchPoint, quick bool, progress func(BenchResult)) (*BenchReport, error) {
+	rep := &BenchReport{
+		Schema:    BenchSchema,
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Quick:     quick,
+	}
+	cps := make([]float64, 0, len(points))
+	walls := make([]float64, 0, len(points))
+	for _, pt := range points {
+		spec, err := workloads.ByName(pt.Bench)
+		if err != nil {
+			return nil, err
+		}
+		prog := workloads.Build(spec)
+		c := core.New(benchConfig(pt.Tracker), prog)
+		start := time.Now()
+		st := c.Run(pt.Warmup, pt.Measure)
+		wall := time.Since(start)
+		if wall <= 0 {
+			wall = time.Nanosecond
+		}
+		res := BenchResult{
+			Bench:        pt.Bench,
+			Tracker:      string(pt.Tracker),
+			Cycles:       st.Cycles,
+			Committed:    st.Committed,
+			IPC:          st.IPC(),
+			WallNS:       wall.Nanoseconds(),
+			CyclesPerSec: float64(st.Cycles) / wall.Seconds(),
+		}
+		rep.Points = append(rep.Points, res)
+		rep.TotalWallNS += res.WallNS
+		cps = append(cps, res.CyclesPerSec)
+		walls = append(walls, float64(res.WallNS))
+		if progress != nil {
+			progress(res)
+		}
+	}
+	rep.GMeanCPS = stats.GeoMean(cps)
+	rep.GMeanWallNS = stats.GeoMean(walls)
+	return rep, nil
+}
+
+// AttachBaseline embeds an earlier report's aggregates into rep and
+// computes the speedup.
+func (rep *BenchReport) AttachBaseline(base *BenchReport, label string) {
+	rep.Baseline = &BenchBaseline{
+		Label:        label,
+		GMeanCPS:     base.GMeanCPS,
+		TotalWallNS:  base.TotalWallNS,
+		GMeanWallNS:  base.GMeanWallNS,
+		SchemaOfFile: base.Schema,
+	}
+	if base.GMeanCPS > 0 {
+		rep.SpeedupVsBaseline = rep.GMeanCPS / base.GMeanCPS
+	}
+}
+
+// WriteFile serializes the report to path (indented JSON, trailing
+// newline, atomic-enough for a results file).
+func (rep *BenchReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadBenchReport reads a BENCH_*.json file.
+func LoadBenchReport(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("sim: parsing %s: %w", path, err)
+	}
+	return &rep, nil
+}

@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// TestBenchReportRoundTrip: a (tiny) bench run must produce a coherent
+// report that survives the JSON round-trip and computes a baseline
+// speedup.
+func TestBenchReportRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real simulation")
+	}
+	points := []BenchPoint{{Bench: "gzip", Tracker: "isrb", Warmup: 1000, Measure: 5000}}
+	rep, err := RunBench(points, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 1 || rep.Points[0].Cycles == 0 || rep.Points[0].CyclesPerSec <= 0 {
+		t.Fatalf("malformed report: %+v", rep)
+	}
+	if r := rep.GMeanCPS / rep.Points[0].CyclesPerSec; r < 1-1e-9 || r > 1+1e-9 {
+		t.Fatalf("gmean %f != single point %f", rep.GMeanCPS, rep.Points[0].CyclesPerSec)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBenchReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.GMeanCPS != rep.GMeanCPS || back.Schema != BenchSchema || len(back.Points) != 1 {
+		t.Fatalf("round-trip mismatch: %+v vs %+v", back, rep)
+	}
+
+	rep2 := *rep
+	base := *rep
+	base.GMeanCPS = rep.GMeanCPS / 2
+	rep2.AttachBaseline(&base, "half")
+	if rep2.SpeedupVsBaseline < 1.99 || rep2.SpeedupVsBaseline > 2.01 {
+		t.Fatalf("speedup vs halved baseline = %f, want 2.0", rep2.SpeedupVsBaseline)
+	}
+}
+
+// TestBenchPointsPinned: the pinned sets must stay stable — cross-PR
+// comparability is the whole point — and every named benchmark must
+// exist in the catalog.
+func TestBenchPointsPinned(t *testing.T) {
+	quick := BenchPoints(true)
+	full := BenchPoints(false)
+	if len(quick) != 3 {
+		t.Fatalf("quick set has %d points, want 3", len(quick))
+	}
+	if len(full) != 16 {
+		t.Fatalf("full set has %d points, want 16", len(full))
+	}
+	for _, pt := range append(quick, full...) {
+		if pt.Warmup == 0 || pt.Measure == 0 {
+			t.Fatalf("point %+v has no pinned run lengths", pt)
+		}
+		if _, err := workloads.ByName(pt.Bench); err != nil {
+			t.Fatalf("pinned point names a benchmark outside the catalog: %v", err)
+		}
+	}
+}

@@ -6,7 +6,10 @@
 // front-end.
 package smb
 
-import "repro/internal/isa"
+import (
+	"repro/internal/isa"
+	"repro/internal/program"
+)
 
 // DDTConfig sizes the Data Dependency Table. Entries == 0 selects the
 // unlimited (ideal) table the paper uses as its first design point; the
@@ -21,8 +24,10 @@ type DDTConfig struct {
 // instruction that produced the value last stored (or, with load-load
 // bypassing, last loaded) at that address.
 type DDT struct {
-	cfg     DDTConfig
-	ideal   map[uint64]uint64
+	cfg DDTConfig
+	// ideal backs the unlimited table. It is consulted once per committed
+	// load and store, so it uses the paged store rather than a Go map.
+	ideal   *program.PagedMem
 	entries []ddtEntry
 	tagMask uint64
 
@@ -41,7 +46,7 @@ type ddtEntry struct {
 func NewDDT(cfg DDTConfig) *DDT {
 	d := &DDT{cfg: cfg}
 	if cfg.Entries <= 0 {
-		d.ideal = make(map[uint64]uint64)
+		d.ideal = program.NewPagedMem()
 		return d
 	}
 	d.entries = make([]ddtEntry, cfg.Entries)
@@ -63,7 +68,7 @@ func (d *DDT) indexTag(addr uint64) (int, uint64) {
 func (d *DDT) Lookup(addr uint64) (uint64, bool) {
 	d.Lookups++
 	if d.ideal != nil {
-		csn, ok := d.ideal[key(addr)]
+		csn, ok := d.ideal.Load(key(addr))
 		if ok {
 			d.Hits++
 		}
@@ -82,7 +87,7 @@ func (d *DDT) Lookup(addr uint64) (uint64, bool) {
 func (d *DDT) Update(addr, csn uint64) {
 	d.Updates++
 	if d.ideal != nil {
-		d.ideal[key(addr)] = csn
+		d.ideal.Store(key(addr), csn)
 		return
 	}
 	idx, tag := d.indexTag(addr)

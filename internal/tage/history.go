@@ -44,6 +44,12 @@ func (h *History) Push(taken bool, pc uint64) {
 // Fold compresses the most recent length bits of global history into width
 // bits by XOR-folding fixed-size chunks. width must be in (0,32]; length
 // may be 0 (returns 0) up to MaxHistoryBits.
+//
+// Fold dominates the simulator's front-end cost (every TAGE component of
+// both the branch and the distance predictor folds per lookup), so chunks
+// are extracted with word-level shifts rather than bit by bit: chunk i is
+// bits [i*width, i*width+n) of the history, which spans at most two words
+// because width <= 32.
 func (h *History) Fold(length, width int) uint32 {
 	if length <= 0 || width <= 0 {
 		return 0
@@ -53,19 +59,17 @@ func (h *History) Fold(length, width int) uint32 {
 	}
 	var folded uint32
 	mask := uint32(1)<<width - 1
-	// Walk the first `length` bits in chunks of `width`.
 	for start := 0; start < length; start += width {
-		var chunk uint32
 		n := width
 		if start+n > length {
 			n = length - start
 		}
-		for b := 0; b < n; b++ {
-			pos := start + b
-			bit := (h.bits[pos/64] >> (pos % 64)) & 1
-			chunk |= uint32(bit) << b
+		w, off := start>>6, uint(start&63)
+		chunk := h.bits[w] >> off
+		if int(off)+n > 64 {
+			chunk |= h.bits[w+1] << (64 - off)
 		}
-		folded ^= chunk
+		folded ^= uint32(chunk) & (uint32(1)<<n - 1)
 	}
 	return folded & mask
 }

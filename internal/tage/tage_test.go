@@ -242,3 +242,51 @@ func TestMaxComponentsGuard(t *testing.T) {
 	}()
 	NewBranchPredictor(cfg)
 }
+
+// foldReference is the original bit-by-bit Fold, kept as the oracle for
+// the word-level chunk extraction the production Fold uses.
+func foldReference(h *History, length, width int) uint32 {
+	if length <= 0 || width <= 0 {
+		return 0
+	}
+	if length > MaxHistoryBits {
+		length = MaxHistoryBits
+	}
+	var folded uint32
+	mask := uint32(1)<<width - 1
+	for start := 0; start < length; start += width {
+		var chunk uint32
+		n := width
+		if start+n > length {
+			n = length - start
+		}
+		for b := 0; b < n; b++ {
+			pos := start + b
+			bit := (h.bits[pos/64] >> (pos % 64)) & 1
+			chunk |= uint32(bit) << b
+		}
+		folded ^= chunk
+	}
+	return folded & mask
+}
+
+// TestHistoryFoldMatchesBitByBitReference: the optimized Fold must be
+// bit-identical to the naive definition for every (length, width),
+// including the word-straddling chunks and the short tail chunk.
+func TestHistoryFoldMatchesBitByBitReference(t *testing.T) {
+	r := rng.New(7)
+	h := &History{}
+	for i := 0; i < 1000; i++ {
+		h.Push(r.Bool(0.5), r.Uint64())
+		if i%37 != 0 {
+			continue
+		}
+		for width := 1; width <= 32; width++ {
+			for length := 0; length <= MaxHistoryBits; length++ {
+				if got, want := h.Fold(length, width), foldReference(h, length, width); got != want {
+					t.Fatalf("Fold(%d, %d) = %#x, want %#x", length, width, got, want)
+				}
+			}
+		}
+	}
+}
