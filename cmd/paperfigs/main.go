@@ -4,10 +4,16 @@
 // workloads) but the shape — who wins, by roughly what factor, where the
 // crossovers fall — is the reproduction target.
 //
+// The series-shaped figures (fig5a, fig6a, fig6c, fig7, ddt, storeonly,
+// trackers) are committed scenario specs under internal/scenario/specs;
+// -scenario runs any committed or on-disk spec directly.
+//
 // Usage:
 //
 //	paperfigs                 # everything
 //	paperfigs -exp fig6a      # one experiment
+//	paperfigs -scenario branch-hostile   # a committed scenario by name
+//	paperfigs -scenario my.scenario      # or a spec file
 //	paperfigs -measure 300000 # longer runs
 //	paperfigs -cachedir .simcache  # reuse simulations across invocations
 package main
@@ -20,12 +26,14 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
 func main() {
 	var (
 		exp      = flag.String("exp", "all", "experiment: table1|fig4|fig5a|fig5b|fig6a|fig6b|fig6c|fig7|ddt|storeonly|cwidth|ports|rob512|singlebit|disthist|trackers|storage|all")
+		scen     = flag.String("scenario", "", "run one scenario instead: a builtin name or a .scenario file path")
 		warmup   = flag.Uint64("warmup", experiments.DefaultRunLengths.Warmup, "warmup instructions per run")
 		measure  = flag.Uint64("measure", experiments.DefaultRunLengths.Measure, "measured instructions per run")
 		cachedir = flag.String("cachedir", "", "directory for the on-disk result cache (empty: off)")
@@ -33,9 +41,35 @@ func main() {
 	flag.Parse()
 
 	runner := sim.New(sim.WithCacheDir(*cachedir))
+	start := time.Now()
+
+	if *scen != "" {
+		if *exp != "all" {
+			fmt.Fprintln(os.Stderr, "use either -exp or -scenario, not both")
+			os.Exit(1)
+		}
+		spec, err := scenario.Resolve(*scen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		matrix, err := spec.Expand(scenario.CommandOverrides(warmup, measure, ""))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rep, err := matrix.Run(runner)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.Table())
+		reportCounters(runner, start)
+		return
+	}
+
 	s := experiments.NewSessionWith(experiments.RunLengths{Warmup: *warmup, Measure: *measure}, runner)
 	want := func(name string) bool { return *exp == "all" || *exp == name }
-	start := time.Now()
 
 	if want("table1") {
 		fmt.Println(experiments.Table1())
@@ -106,6 +140,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (known: %s)\n", *exp, known)
 		os.Exit(1)
 	}
+	reportCounters(runner, start)
+}
+
+// reportCounters prints the run's cost accounting on stderr.
+func reportCounters(runner *sim.Runner, start time.Time) {
 	c := runner.Counters()
 	fmt.Fprintf(os.Stderr, "total time: %v (%d simulated, %d deduplicated, %d from disk cache)\n",
 		time.Since(start).Round(time.Millisecond), c.Simulated, c.MemHits, c.DiskHits)

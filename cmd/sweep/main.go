@@ -1,5 +1,10 @@
-// Command sweep runs two-dimensional parameter sweeps around the paper's
-// design points and prints speedup grids:
+// Command sweep runs declarative parameter sweeps: every grid — axes,
+// configuration patches, benchmark set, run lengths, report shape —
+// comes from a scenario spec (see internal/scenario and docs/SCENARIOS.md),
+// either a committed builtin or a `.scenario` file.
+//
+// The paper's design-point sweeps remain available under their original
+// -kind names, now as committed specs:
 //
 //   - isrb:   ISRB entries × counter width (ME+SMB, the §6.3 trade space)
 //   - rob:    ROB size × ISRB entries (SMB)
@@ -8,134 +13,115 @@
 //
 // All simulations go through one internal/sim runner, so shared cells —
 // notably the baseline, which every grid cell compares against — run
-// exactly once, and -cachedir reuses results across invocations.
+// exactly once, and -cachedir persists results in the sharded on-disk
+// store shared with every other command.
 //
 // Usage:
 //
 //	sweep -kind isrb -bench hmmer
-//	sweep -kind stlf            # geometric mean over the whole suite
-//	sweep -cachedir .simcache   # persist results between runs
+//	sweep -kind stlf                  # geometric mean over the whole suite
+//	sweep -scenario isrb-rob-grid     # any builtin scenario by name
+//	sweep -spec my.scenario -json     # a spec file, machine-readable report
+//	sweep -list                       # list the committed scenarios
+//	sweep -cachedir .simcache         # persist results between runs
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
-	"repro/internal/core"
+	"repro/internal/scenario"
 	"repro/internal/sim"
-	"repro/internal/stats"
-	"repro/internal/workloads"
 )
-
-var (
-	kind     = flag.String("kind", "isrb", "sweep kind: isrb|rob|stlf")
-	bench    = flag.String("bench", "", "single benchmark (default: gmean over the suite)")
-	warmup   = flag.Uint64("warmup", 20_000, "warmup µops")
-	measure  = flag.Uint64("measure", 80_000, "measured µops")
-	cachedir = flag.String("cachedir", "", "directory for the on-disk result cache (empty: off)")
-
-	runner *sim.Runner
-)
-
-// speedup returns the gmean speedup of cfg over base across the selected
-// benchmarks. The runner deduplicates: repeated base configurations
-// across grid cells cost nothing.
-func speedup(baseFor, cfgFor func() core.Config) float64 {
-	names := workloads.Names()
-	if *bench != "" {
-		names = []string{*bench}
-	}
-	reqs := func(cfg core.Config) []sim.Request {
-		rs := make([]sim.Request, len(names))
-		for i, n := range names {
-			rs[i] = sim.Request{Bench: n, Config: cfg, Warmup: *warmup, Measure: *measure}
-		}
-		return rs
-	}
-	base, err := runner.RunAll(reqs(baseFor()))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	opt, err := runner.RunAll(reqs(cfgFor()))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	return sim.GMeanSpeedup(base, opt)
-}
-
-func combined(entries, bits int) core.Config {
-	cfg := core.DefaultConfig()
-	cfg.ME.Enabled = true
-	cfg.SMB.Enabled = true
-	cfg.Tracker = core.TrackerConfig{Kind: core.TrackerISRB, Entries: entries, CounterBits: bits}
-	return cfg
-}
 
 func main() {
+	var (
+		kind     = flag.String("kind", "", "paper sweep kind: isrb|rob|stlf (shorthand for -scenario sweep-<kind>)")
+		name     = flag.String("scenario", "", "builtin scenario name (see -list)")
+		specPath = flag.String("spec", "", "path to a .scenario spec file")
+		list     = flag.Bool("list", false, "list builtin scenarios and exit")
+		bench    = flag.String("bench", "", "single benchmark or group (default: the spec's benchmark set)")
+		warmup   = flag.Uint64("warmup", 0, "override the spec's warmup µops (explicit 0 = no warmup)")
+		measure  = flag.Uint64("measure", 0, "override the spec's measured µops")
+		cachedir = flag.String("cachedir", "", "directory for the sharded on-disk result store (empty: off)")
+		jsonOut  = flag.Bool("json", false, "emit the machine-readable report instead of the table")
+		verbose  = flag.Bool("v", false, "report runner counters on stderr")
+	)
 	flag.Parse()
-	runner = sim.New(sim.WithCacheDir(*cachedir))
-	switch *kind {
-	case "isrb":
-		t := stats.NewTable("ME+SMB speedup: ISRB entries × counter bits",
-			"entries", "1-bit", "2-bit", "3-bit", "4-bit")
-		for _, n := range []int{8, 16, 24, 32, 48} {
-			row := []string{fmt.Sprint(n)}
-			for _, w := range []int{1, 2, 3, 4} {
-				s := speedup(core.DefaultConfig, func() core.Config { return combined(n, w) })
-				row = append(row, stats.Pct(s))
-			}
-			t.AddRow(row...)
-		}
-		fmt.Println(t)
-	case "rob":
-		t := stats.NewTable("SMB speedup: ROB size × ISRB entries",
-			"ROB", "ISRB-8", "ISRB-24", "unlimited")
-		for _, rob := range []int{96, 192, 384} {
-			rob := rob
-			row := []string{fmt.Sprint(rob)}
-			for _, n := range []int{8, 24, 0} {
-				n := n
-				base := func() core.Config {
-					cfg := core.DefaultConfig()
-					cfg.ROBSize = rob
-					return cfg
-				}
-				opt := func() core.Config {
-					cfg := base()
-					cfg.SMB.Enabled = true
-					if n > 0 {
-						cfg.Tracker = core.TrackerConfig{Kind: core.TrackerISRB, Entries: n, CounterBits: 3}
-					}
-					return cfg
-				}
-				row = append(row, stats.Pct(speedup(base, opt)))
-			}
-			t.AddRow(row...)
-		}
-		fmt.Println(t)
-	case "stlf":
-		t := stats.NewTable("SMB speedup vs store-to-load forwarding latency (§3's motivation)",
-			"STLF cycles", "SMB speedup")
-		for _, lat := range []uint64{1, 2, 4, 8} {
-			lat := lat
-			base := func() core.Config {
-				cfg := core.DefaultConfig()
-				cfg.STLFLatency = lat
-				return cfg
-			}
-			opt := func() core.Config {
-				cfg := base()
-				cfg.SMB.Enabled = true
-				return cfg
-			}
-			t.AddRow(fmt.Sprint(lat), stats.Pct(speedup(base, opt)))
-		}
-		fmt.Println(t)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown sweep kind %q\n", *kind)
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *list {
+		for _, n := range scenario.BuiltinNames() {
+			s, err := scenario.Builtin(n)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("%-18s %s\n", n, s.Title)
+		}
+		return
+	}
+
+	modes := 0
+	for _, set := range []bool{*specPath != "", *name != "", *kind != ""} {
+		if set {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fail(errors.New("use only one of -kind, -scenario, -spec"))
+	}
+
+	var spec *scenario.Spec
+	var err error
+	switch {
+	case *specPath != "":
+		spec, err = scenario.LoadFile(*specPath)
+	case *name != "":
+		spec, err = scenario.Resolve(*name)
+	case *kind != "":
+		spec, err = scenario.Builtin("sweep-" + *kind)
+		if errors.Is(err, scenario.ErrUnknownBuiltin) {
+			err = fmt.Errorf("unknown sweep kind %q (known: isrb rob stlf)", *kind)
+		}
+	default:
+		// Preserve the historical default: `sweep` alone runs the ISRB
+		// trade-space sweep.
+		spec, err = scenario.Builtin("sweep-isrb")
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	matrix, err := spec.Expand(scenario.CommandOverrides(warmup, measure, *bench))
+	if err != nil {
+		fail(err)
+	}
+
+	runner := sim.New(sim.WithCacheDir(*cachedir))
+	rep, err := matrix.Run(runner)
+	if err != nil {
+		fail(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fail(err)
+		}
+	} else {
+		fmt.Println(rep.Table())
+	}
+	if *verbose {
+		c := runner.Counters()
+		fmt.Fprintf(os.Stderr, "%d requests: %d simulated, %d deduplicated, %d from the store\n",
+			len(matrix.Requests), c.Simulated, c.MemHits, c.DiskHits)
 	}
 }

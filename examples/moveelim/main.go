@@ -5,14 +5,21 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
 	regshare "repro"
 )
 
+var short = flag.Bool("short", false, "run much shorter simulations (CI smoke mode)")
+
 func run(bench string, cfg regshare.Config) *regshare.Result {
-	r, err := regshare.Run(regshare.RunSpec{Benchmark: bench, Config: cfg})
+	spec := regshare.RunSpec{Benchmark: bench, Config: cfg}
+	if *short {
+		spec.Warmup, spec.Measure = 5_000, 20_000
+	}
+	r, err := regshare.Run(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -20,6 +27,7 @@ func run(bench string, cfg regshare.Config) *regshare.Result {
 }
 
 func main() {
+	flag.Parse()
 	for _, bench := range []string{"crafty", "vortex", "namd"} {
 		base := run(bench, regshare.Baseline())
 		fmt.Printf("%s: baseline IPC %.3f\n", bench, base.Stats.IPC())

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -12,9 +13,18 @@ import (
 )
 
 func main() {
+	short := flag.Bool("short", false, "run much shorter simulations (CI smoke mode)")
+	flag.Parse()
+	var warmup, measure uint64
+	if *short {
+		warmup, measure = 5_000, 20_000
+	}
+
 	base, err := regshare.Run(regshare.RunSpec{
 		Benchmark: "crafty",
 		Config:    regshare.Baseline(),
+		Warmup:    warmup,
+		Measure:   measure,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -23,6 +33,8 @@ func main() {
 	opt, err := regshare.Run(regshare.RunSpec{
 		Benchmark: "crafty",
 		Config:    regshare.Combined(32),
+		Warmup:    warmup,
+		Measure:   measure,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -16,7 +17,10 @@ import (
 	"repro/internal/regfile"
 )
 
+var short = flag.Bool("short", false, "run much shorter simulations (CI smoke mode)")
+
 func main() {
+	flag.Parse()
 	figure3()
 	machineComparison()
 }
@@ -57,7 +61,11 @@ func machineComparison() {
 	mk := func(kind core.TrackerKind) *regshare.Result {
 		cfg := regshare.Combined(0)
 		cfg.Tracker = core.TrackerConfig{Kind: kind, Entries: 64, CounterBits: 8}
-		r, err := regshare.Run(regshare.RunSpec{Benchmark: "gobmk", Config: cfg})
+		spec := regshare.RunSpec{Benchmark: "gobmk", Config: cfg}
+		if *short {
+			spec.Warmup, spec.Measure = 5_000, 20_000
+		}
+		r, err := regshare.Run(spec)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,17 +5,27 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
 	regshare "repro"
 )
 
+var short = flag.Bool("short", false, "run much shorter simulations (CI smoke mode)")
+
 func run(bench string, cfg regshare.Config) *regshare.Result {
-	r, err := regshare.Run(regshare.RunSpec{
+	// Warmup 1, not 0: effectively no warmup, so the one-time dependence
+	// training events stay visible (regshare.Run treats 0 as "use the
+	// 50k default").
+	spec := regshare.RunSpec{
 		Benchmark: bench, Config: cfg,
-		Warmup: 0, Measure: 200_000, // no warmup: show the dependence events
-	})
+		Warmup: 1, Measure: 200_000,
+	}
+	if *short {
+		spec.Measure = 30_000
+	}
+	r, err := regshare.Run(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -23,6 +33,7 @@ func run(bench string, cfg regshare.Config) *regshare.Result {
 }
 
 func main() {
+	flag.Parse()
 	const bench = "hmmer"
 	base := run(bench, regshare.Baseline())
 	fmt.Printf("%s baseline:  IPC %.3f, %d memory traps, %d false dependencies\n",

@@ -1,14 +1,6 @@
-// Package core implements the cycle-level out-of-order superscalar
-// processor of Table 1 — the substrate the paper's mechanisms (ISRB, Move
-// Elimination, Speculative Memory Bypassing) are evaluated on.
-//
-// The pipeline models an aggressive 4GHz, 8-wide-front-end, 6-issue core:
-// a 19-cycle fetch-to-commit depth, checkpoint-based branch recovery (20
-// cycles minimum misprediction penalty), a 192-entry ROB, a 60-entry
-// unified scheduler with the paper's functional-unit pool, 72/48-entry
-// load/store queues with 4-cycle store-to-load forwarding, 256+256
-// physical registers, Store Sets memory dependence prediction, TAGE branch
-// prediction and a three-level memory hierarchy.
+// This file holds the machine configuration (the paper's Table 1) and
+// the tracker/latency selection it implies; the package documentation
+// lives in core.go with the pipeline itself.
 package core
 
 import (

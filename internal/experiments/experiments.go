@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -71,6 +72,22 @@ func (s *Session) runAll(cfgFor func(bench string) core.Config) []*Result {
 	return s.r.RunBenchmarks(s.RL.Warmup, s.RL.Measure, cfgFor)
 }
 
+// scenarioSeries executes the named committed scenario (internal/
+// scenario/specs) at the session's run lengths through the session's
+// runner, so figure sweeps share the deduplicated baseline and any
+// attached disk store with everything else the session runs. The
+// series-shaped figures are those specs rendered — the spec files are
+// the single source of truth for their grids.
+func (s *Session) scenarioSeries(name string) (*stats.Table, []Series) {
+	rep, err := scenario.MustBuiltin(name).
+		MustExpand(scenario.Overrides{Warmup: &s.RL.Warmup, Measure: &s.RL.Measure}).
+		Run(s.r)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return rep.Table(), rep.Series()
+}
+
 // Baseline returns per-benchmark baseline results (Figure 4's machine).
 func (s *Session) Baseline() []*Result {
 	return s.runAll(func(string) core.Config { return core.DefaultConfig() })
@@ -104,13 +121,6 @@ func combinedConfig(entries int) core.Config {
 	cfg.ME.Enabled = true
 	cfg.SMB.Enabled = true
 	return withTracker(cfg, entries)
-}
-
-func entryLabel(entries int) string {
-	if entries <= 0 {
-		return "unlimited"
-	}
-	return fmt.Sprintf("%d", entries)
 }
 
 func makeSeries(name string, base, opt []*Result) Series {

@@ -97,36 +97,15 @@ func (s *Session) DistanceHistorySweep() (*stats.Table, map[string]float64) {
 
 // TrackerComparison makes §4.2's qualitative scheme comparison
 // quantitative: the same ME+SMB machine over every reference counting
-// scheme. The MIT loses SMB entirely (architectural-name tracking); the
-// per-register counters lose recovery cycles to sequential rollback; the
-// RDA matches the ISRB's performance but pays commit-side checkpoint
-// update traffic.
+// scheme (the committed "trackers" scenario). The MIT loses SMB entirely
+// (architectural-name tracking); the per-register counters lose recovery
+// cycles to sequential rollback; the RDA matches the ISRB's performance
+// but pays commit-side checkpoint update traffic.
 func (s *Session) TrackerComparison() (*stats.Table, map[string]float64) {
-	base := s.Baseline()
-	schemes := []struct {
-		name string
-		kind core.TrackerKind
-		n    int
-		bits int
-	}{
-		{"ISRB-32x3b", core.TrackerISRB, 32, 3},
-		{"MIT-16", core.TrackerMIT, 16, 4},
-		{"RDA-32", core.TrackerRDA, 32, 4},
-		{"counters", core.TrackerCounters, 0, 8},
-		{"unlimited", core.TrackerUnlimited, 0, 8},
-	}
+	t, series := s.scenarioSeries("trackers")
 	gmeans := map[string]float64{}
-	var series []Series
-	for _, sc := range schemes {
-		sc := sc
-		opt := s.runAll(func(string) core.Config {
-			cfg := combinedConfig(0)
-			cfg.Tracker = core.TrackerConfig{Kind: sc.kind, Entries: sc.n, CounterBits: sc.bits}
-			return cfg
-		})
-		sr := makeSeries(sc.name, base, opt)
-		series = append(series, sr)
-		gmeans[sc.name] = sr.GMean
+	for _, sr := range series {
+		gmeans[sr.Name] = sr.GMean
 	}
-	return seriesTable("Extension: ME+SMB across reference counting schemes (§4.2)", base, series), gmeans
+	return t, gmeans
 }

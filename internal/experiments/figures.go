@@ -59,19 +59,10 @@ func (s *Session) Fig4() *stats.Table {
 	return t
 }
 
-// Fig5aSizes are the ISRB sizes Figure 5a sweeps (0 = unlimited).
-var Fig5aSizes = []int{8, 16, 32, 0}
-
 // Fig5a: speedup of Move Elimination over the baseline for several ISRB
-// sizes.
+// sizes (the committed "fig5a" scenario).
 func (s *Session) Fig5a() (*stats.Table, []Series) {
-	base := s.Baseline()
-	var series []Series
-	for _, n := range Fig5aSizes {
-		opt := s.runAll(func(string) core.Config { return meConfig(n) })
-		series = append(series, makeSeries("ME-"+entryLabel(n), base, opt))
-	}
-	return seriesTable("Figure 5a: ME speedup vs ISRB size", base, series), series
+	return s.scenarioSeries("fig5a")
 }
 
 // Fig5b: percentage of renamed instructions eliminated (unlimited ISRB).
@@ -88,24 +79,10 @@ func (s *Session) Fig5b() (*stats.Table, map[string]float64) {
 	return t, rates
 }
 
-// Fig6aSizes are the ISRB sizes Figure 6a sweeps.
-var Fig6aSizes = []int{8, 16, 24, 32, 0}
-
-// Fig6a: SMB speedup vs ISRB size, plus the NoSQ-style predictor curve.
+// Fig6a: SMB speedup vs ISRB size, plus the NoSQ-style predictor curve
+// (the committed "fig6a" scenario).
 func (s *Session) Fig6a() (*stats.Table, []Series) {
-	base := s.Baseline()
-	var series []Series
-	for _, n := range Fig6aSizes {
-		opt := s.runAll(func(string) core.Config { return smbConfig(n) })
-		series = append(series, makeSeries("SMB-"+entryLabel(n), base, opt))
-	}
-	nosq := s.runAll(func(string) core.Config {
-		cfg := smbConfig(0)
-		cfg.SMB.Predictor = core.DistanceNoSQ
-		return cfg
-	})
-	series = append(series, makeSeries("SMB-NoSQ-unl", base, nosq))
-	return seriesTable("Figure 6a: SMB speedup vs ISRB size (TAGE distance pred; last column NoSQ-style)", base, series), series
+	return s.scenarioSeries("fig6a")
 }
 
 // Fig6b: reduction of memory traps and false dependencies under SMB
@@ -139,76 +116,29 @@ func (s *Session) Fig6b() *stats.Table {
 }
 
 // Fig6c: eager vs lazy reclaim (bypassing from committed instructions),
-// with an unlimited and a 24-entry ISRB.
+// with an unlimited and a 24-entry ISRB (the committed "fig6c"
+// scenario).
 func (s *Session) Fig6c() (*stats.Table, []Series) {
-	base := s.Baseline()
-	var series []Series
-	for _, n := range []int{0, 24} {
-		eager := s.runAll(func(string) core.Config { return smbConfig(n) })
-		lazyCfg := func(string) core.Config {
-			cfg := smbConfig(n)
-			cfg.SMB.BypassCommitted = true
-			return cfg
-		}
-		lazy := s.runAll(lazyCfg)
-		series = append(series,
-			makeSeries("eager-"+entryLabel(n), base, eager),
-			makeSeries("lazy-"+entryLabel(n), base, lazy))
-	}
-	return seriesTable("Figure 6c: eager vs lazy reclaim (bypass from committed)", base, series), series
+	return s.scenarioSeries("fig6c")
 }
 
-// Fig7Sizes are the ISRB sizes Figure 7 sweeps.
-var Fig7Sizes = []int{16, 24, 32, 0}
-
-// Fig7: combined ME+SMB speedup vs ISRB size.
+// Fig7: combined ME+SMB speedup vs ISRB size (the committed "fig7"
+// scenario).
 func (s *Session) Fig7() (*stats.Table, []Series) {
-	base := s.Baseline()
-	var series []Series
-	for _, n := range Fig7Sizes {
-		opt := s.runAll(func(string) core.Config { return combinedConfig(n) })
-		series = append(series, makeSeries("ME+SMB-"+entryLabel(n), base, opt))
-	}
-	return seriesTable("Figure 7: combined ME+SMB speedup vs ISRB size", base, series), series
+	return s.scenarioSeries("fig7")
 }
 
 // DDTSizing compares the unlimited DDT with the paper's 1K-entry 5b-tag
-// table (§3.1's "within 2.2% except hmmer" claim).
+// table (§3.1's "within 2.2% except hmmer" claim; the committed "ddt"
+// scenario).
 func (s *Session) DDTSizing() (*stats.Table, []Series) {
-	base := s.Baseline()
-	unl := s.runAll(func(string) core.Config { return smbConfig(0) })
-	small := s.runAll(func(string) core.Config {
-		cfg := smbConfig(0)
-		cfg.SMB.DDT = smb.DDTConfig{Entries: 1024, TagBits: 5}
-		return cfg
-	})
-	large := s.runAll(func(string) core.Config {
-		cfg := smbConfig(0)
-		cfg.SMB.DDT = smb.DDTConfig{Entries: 16384, TagBits: 14}
-		return cfg
-	})
-	series := []Series{
-		makeSeries("DDT-unl", base, unl),
-		makeSeries("DDT-16K", base, large),
-		makeSeries("DDT-1K", base, small),
-	}
-	return seriesTable("DDT sizing (§3.1): SMB speedup by DDT capacity", base, series), series
+	return s.scenarioSeries("ddt")
 }
 
-// StoreOnly compares full SMB with store→load-only bypassing (§6.2).
+// StoreOnly compares full SMB with store→load-only bypassing (§6.2; the
+// committed "storeonly" scenario).
 func (s *Session) StoreOnly() (*stats.Table, []Series) {
-	base := s.Baseline()
-	full := s.runAll(func(string) core.Config { return smbConfig(0) })
-	so := s.runAll(func(string) core.Config {
-		cfg := smbConfig(0)
-		cfg.SMB.LoadLoad = false
-		return cfg
-	})
-	series := []Series{
-		makeSeries("SMB-full", base, full),
-		makeSeries("SMB-store-only", base, so),
-	}
-	return seriesTable("Store-only SMB (§6.2): load-load bypassing disabled", base, series), series
+	return s.scenarioSeries("storeonly")
 }
 
 // CounterWidth sweeps the ISRB counter width for the combined

@@ -1,0 +1,69 @@
+package scenario
+
+import (
+	"embed"
+	"errors"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strings"
+)
+
+// ErrUnknownBuiltin marks a Builtin lookup for a name that is not in
+// the committed catalog — as opposed to a catalog spec that exists but
+// fails to parse, which callers must not mask behind "unknown name".
+var ErrUnknownBuiltin = errors.New("unknown builtin scenario")
+
+// The committed scenario catalog: the paper's headline figures and
+// sweeps plus the beyond-paper grids, as data instead of harness code.
+//
+//go:embed specs/*.scenario
+var specFS embed.FS
+
+// BuiltinNames lists the committed scenarios, sorted.
+func BuiltinNames() []string {
+	entries, err := specFS.ReadDir("specs")
+	if err != nil {
+		panic(fmt.Sprintf("scenario: embedded specs unreadable: %v", err))
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, strings.TrimSuffix(e.Name(), ".scenario"))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Builtin parses the committed scenario with the given name.
+func Builtin(name string) (*Spec, error) {
+	data, err := specFS.ReadFile(path.Join("specs", name+".scenario"))
+	if err != nil {
+		return nil, fmt.Errorf("%w %q (known: %v)", ErrUnknownBuiltin, name, BuiltinNames())
+	}
+	s, err := ParseBytes(data)
+	if err != nil {
+		return nil, fmt.Errorf("builtin %q: %w", name, err)
+	}
+	return s, nil
+}
+
+// MustBuiltin is Builtin for harness code where a missing or invalid
+// committed spec is a bug.
+func MustBuiltin(name string) *Spec {
+	s, err := Builtin(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Resolve loads a spec from a name-or-path, the shared rule of every
+// command's -scenario flag: an existing file path wins (so its parse
+// errors surface verbatim), anything else is a committed-catalog lookup.
+func Resolve(nameOrPath string) (*Spec, error) {
+	if _, err := os.Stat(nameOrPath); err == nil {
+		return LoadFile(nameOrPath)
+	}
+	return Builtin(nameOrPath)
+}

@@ -1,0 +1,193 @@
+package scenario
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Overrides carries the command-line knobs that may override a committed
+// spec without editing it. Nil/empty fields leave the spec's own choice
+// in place; a pointer to zero is an explicit zero (e.g. no warmup).
+type Overrides struct {
+	Warmup     *uint64
+	Measure    *uint64
+	Benchmarks []string // names or group names
+}
+
+// CommandOverrides collects the standard -warmup/-measure/-bench
+// override flags every scenario-driving command exposes. flag.Visit
+// distinguishes flags the user actually set from defaults, so an
+// explicit `-warmup 0` overrides while an untouched flag leaves the
+// spec's choice in place. Call after flag.Parse.
+func CommandOverrides(warmup, measure *uint64, bench string) Overrides {
+	var ov Overrides
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "warmup":
+			ov.Warmup = warmup
+		case "measure":
+			ov.Measure = measure
+		}
+	})
+	if bench != "" {
+		ov.Benchmarks = []string{bench}
+	}
+	return ov
+}
+
+// Cell is one grid point: the combination of one value per axis, with
+// the fully-materialized baseline and optimized configurations.
+type Cell struct {
+	// Labels holds the selected value label per axis, in axis order.
+	Labels []string
+	// Base and Opt index into Matrix.Requests, one entry per benchmark
+	// (aligned with Matrix.Benches): the cell's baseline and optimized
+	// runs. Several cells typically share baseline request indices —
+	// that is the deduplication.
+	Base []int
+	Opt  []int
+	// BaseConfig and OptConfig are the cell's materialized machine
+	// configurations, for consumers that need more than the results
+	// (e.g. cmd/storagecost instantiating each cell's tracker to price
+	// its storage).
+	BaseConfig core.Config
+	OptConfig  core.Config
+}
+
+// Matrix is a fully-expanded scenario: the deduplicated request list
+// plus the cells mapping into it. Cells are in row-major axis order
+// (the last axis varies fastest).
+type Matrix struct {
+	Spec    *Spec
+	Benches []string
+	Warmup  uint64
+	Measure uint64
+	Cells   []Cell
+	// Requests is the deduplicated simulation list in first-use order;
+	// running a scenario is exactly one RunAll over it.
+	Requests []sim.Request
+}
+
+// Expand materializes the spec's grid: the cross-product of all axis
+// values × the benchmark list, as one deduplicated request matrix.
+// Requests shared between cells — every cell's baseline against an
+// unmodified machine, identical configs reached along different axis
+// paths — appear exactly once.
+func (s *Spec) Expand(ov Overrides) (*Matrix, error) {
+	m := &Matrix{Spec: s, Warmup: s.Warmup, Measure: s.Measure}
+	if ov.Warmup != nil {
+		m.Warmup = *ov.Warmup
+	}
+	if ov.Measure != nil {
+		m.Measure = *ov.Measure
+	}
+	// Overrides bypass Validate, so re-check the invariant it enforces:
+	// a zero measured region yields NaN speedups, not results.
+	if m.Measure == 0 {
+		return nil, fmt.Errorf("scenario %q: measure override must be positive", s.Name)
+	}
+	sel := *s
+	if len(ov.Benchmarks) != 0 {
+		sel.Benchmarks = ov.Benchmarks
+	}
+	benches, err := sel.ResolveBenchmarks()
+	if err != nil {
+		return nil, err
+	}
+	m.Benches = benches
+
+	index := make(map[string]int) // sim.Key -> Requests index
+	intern := func(cfg core.Config) []int {
+		idxs := make([]int, len(benches))
+		for i, b := range benches {
+			req := sim.Request{Bench: b, Config: cfg, Warmup: m.Warmup, Measure: m.Measure}
+			key := sim.Key(req)
+			at, ok := index[key]
+			if !ok {
+				at = len(m.Requests)
+				index[key] = at
+				m.Requests = append(m.Requests, req)
+			}
+			idxs[i] = at
+		}
+		return idxs
+	}
+
+	// Row-major walk over the axis cross-product.
+	combo := make([]int, len(s.Axes))
+	for {
+		cell := Cell{Labels: make([]string, len(s.Axes))}
+		baseCfg := core.DefaultConfig()
+		s.Base.Apply(&baseCfg)
+		for ai, vi := range combo {
+			cell.Labels[ai] = s.Axes[ai].Values[vi].Label
+			if s.Axes[ai].Shared {
+				s.Axes[ai].Values[vi].Patch.Apply(&baseCfg)
+			}
+		}
+		optCfg := baseCfg
+		s.Opt.Apply(&optCfg)
+		for ai, vi := range combo {
+			if !s.Axes[ai].Shared {
+				s.Axes[ai].Values[vi].Patch.Apply(&optCfg)
+			}
+		}
+		if err := checkTrackerSized(&baseCfg); err != nil {
+			return nil, fmt.Errorf("scenario %q cell %v: baseline config: %v", s.Name, cell.Labels, err)
+		}
+		if err := checkTrackerSized(&optCfg); err != nil {
+			return nil, fmt.Errorf("scenario %q cell %v: optimized config: %v", s.Name, cell.Labels, err)
+		}
+		cell.Base = intern(baseCfg)
+		cell.Opt = intern(optCfg)
+		cell.BaseConfig = baseCfg
+		cell.OptConfig = optCfg
+		m.Cells = append(m.Cells, cell)
+
+		// Advance the odometer, last axis fastest.
+		ai := len(combo) - 1
+		for ; ai >= 0; ai-- {
+			combo[ai]++
+			if combo[ai] < len(s.Axes[ai].Values) {
+				break
+			}
+			combo[ai] = 0
+		}
+		if ai < 0 {
+			break
+		}
+	}
+	return m, nil
+}
+
+// checkTrackerSized rejects a materialized cell configuration whose
+// entry-based tracker was left unsized. core.NewTracker would silently
+// coerce zero entries/counter bits to 32/3, so a cell that composed its
+// patches wrongly (e.g. a tracker axis without an entries axis) would
+// sweep a configuration the spec never named — the engine's contract is
+// to fail loudly instead.
+func checkTrackerSized(cfg *core.Config) error {
+	t := cfg.Tracker
+	switch t.Kind {
+	case core.TrackerISRB, core.TrackerMIT, core.TrackerRDA:
+		if t.Entries == 0 {
+			return fmt.Errorf("tracker %q has no entries (0 does not mean unlimited; patch \"entries\" explicitly)", t.Kind)
+		}
+	}
+	if t.Kind == core.TrackerISRB && t.CounterBits == 0 {
+		return fmt.Errorf("isrb tracker has no counter width (patch \"ctrbits\" explicitly)")
+	}
+	return nil
+}
+
+// MustExpand is Expand for harness code where a spec error is a bug.
+func (s *Spec) MustExpand(ov Overrides) *Matrix {
+	m, err := s.Expand(ov)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

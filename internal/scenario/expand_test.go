@@ -1,0 +1,177 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// gridSpec is a 2×2 grid with a shared ROB axis — the shape where
+// deduplication matters: both cells of a row share the row's baseline.
+const gridSpec = `{
+  "name": "g",
+  "title": "G",
+  "benchmarks": ["crafty", "gcc"],
+  "warmup": 100,
+  "measure": 1000,
+  "opt": {"smb": true},
+  "axes": [
+    {"name": "ROB", "shared": true, "values": [
+      {"label": "96",  "patch": {"rob": 96}},
+      {"label": "192", "patch": {"rob": 192}}
+    ]},
+    {"name": "ISRB", "values": [
+      {"label": "ISRB-8",    "patch": {"tracker": "isrb", "entries": 8, "ctrbits": 3}},
+      {"label": "unlimited", "patch": {}}
+    ]}
+  ],
+  "report": {"kind": "grid", "rowheader": "ROB"}
+}`
+
+// u64p builds the pointer form Overrides uses to distinguish "unset"
+// from an explicit zero.
+func u64p(v uint64) *uint64 { return &v }
+
+// describe renders a request's distinguishing fields for the golden
+// comparison.
+func describe(r sim.Request) string {
+	return fmt.Sprintf("%s w=%d m=%d rob=%d smb=%v tracker=%s/%d/%d",
+		r.Bench, r.Warmup, r.Measure, r.Config.ROBSize, r.Config.SMB.Enabled,
+		r.Config.Tracker.Kind, r.Config.Tracker.Entries, r.Config.Tracker.CounterBits)
+}
+
+// TestExpandGolden pins the spec→request-matrix expansion: cell order
+// (row-major, last axis fastest), per-cell labels, the deduplicated
+// request list in first-use order, and which requests each cell maps to.
+func TestExpandGolden(t *testing.T) {
+	s, err := ParseBytes([]byte(gridSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Expand(Overrides{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got strings.Builder
+	for _, r := range m.Requests {
+		fmt.Fprintf(&got, "req %s\n", describe(r))
+	}
+	for _, c := range m.Cells {
+		fmt.Fprintf(&got, "cell %s base=%v opt=%v\n", strings.Join(c.Labels, "/"), c.Base, c.Opt)
+	}
+
+	want := strings.TrimLeft(`
+req crafty w=100 m=1000 rob=96 smb=false tracker=unlimited/32/3
+req gcc w=100 m=1000 rob=96 smb=false tracker=unlimited/32/3
+req crafty w=100 m=1000 rob=96 smb=true tracker=isrb/8/3
+req gcc w=100 m=1000 rob=96 smb=true tracker=isrb/8/3
+req crafty w=100 m=1000 rob=96 smb=true tracker=unlimited/32/3
+req gcc w=100 m=1000 rob=96 smb=true tracker=unlimited/32/3
+req crafty w=100 m=1000 rob=192 smb=false tracker=unlimited/32/3
+req gcc w=100 m=1000 rob=192 smb=false tracker=unlimited/32/3
+req crafty w=100 m=1000 rob=192 smb=true tracker=isrb/8/3
+req gcc w=100 m=1000 rob=192 smb=true tracker=isrb/8/3
+req crafty w=100 m=1000 rob=192 smb=true tracker=unlimited/32/3
+req gcc w=100 m=1000 rob=192 smb=true tracker=unlimited/32/3
+cell 96/ISRB-8 base=[0 1] opt=[2 3]
+cell 96/unlimited base=[0 1] opt=[4 5]
+cell 192/ISRB-8 base=[6 7] opt=[8 9]
+cell 192/unlimited base=[6 7] opt=[10 11]
+`, "\n")
+	if got.String() != want {
+		t.Fatalf("expansion drifted:\n--- got ---\n%s--- want ---\n%s", got.String(), want)
+	}
+
+	// The same spec expands identically every time (map iteration must
+	// not leak into the order).
+	m2 := s.MustExpand(Overrides{})
+	for i := range m.Requests {
+		if sim.Key(m.Requests[i]) != sim.Key(m2.Requests[i]) {
+			t.Fatalf("expansion not deterministic at request %d", i)
+		}
+	}
+}
+
+// TestExpandOverrides: run-length and benchmark overrides replace the
+// spec's choices without editing it.
+func TestExpandOverrides(t *testing.T) {
+	s, err := ParseBytes([]byte(gridSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Expand(Overrides{Warmup: u64p(7), Measure: u64p(77), Benchmarks: []string{"hmmer"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Benches) != 1 || m.Benches[0] != "hmmer" {
+		t.Fatalf("bench override ignored: %v", m.Benches)
+	}
+	for _, r := range m.Requests {
+		if r.Bench != "hmmer" || r.Warmup != 7 || r.Measure != 77 {
+			t.Fatalf("override not applied: %s", describe(r))
+		}
+	}
+	// A pointer to zero is an explicit request for no warmup, not
+	// "keep the spec's value".
+	m0, err := s.Expand(Overrides{Warmup: u64p(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range m0.Requests {
+		if r.Warmup != 0 {
+			t.Fatalf("explicit zero warmup ignored: %s", describe(r))
+		}
+	}
+	if _, err := s.Expand(Overrides{Benchmarks: []string{"nope"}}); err == nil {
+		t.Fatal("unknown benchmark override accepted")
+	}
+}
+
+// TestExpandRejectsUnsizedTracker: a cell whose composed patches select
+// an entry-based tracker but never size it must fail loudly —
+// core.NewTracker would otherwise silently coerce it to 32 entries /
+// 3 bits, a configuration the spec never named.
+func TestExpandRejectsUnsizedTracker(t *testing.T) {
+	for _, patch := range []string{
+		`{"tracker": "isrb", "ctrbits": 3}`, // no entries
+		`{"tracker": "isrb", "entries": 8}`, // no counter bits
+		`{"tracker": "rda"}`,                // no entries
+	} {
+		spec := strings.Replace(gridSpec,
+			`{"tracker": "isrb", "entries": 8, "ctrbits": 3}`, patch, 1)
+		s, err := ParseBytes([]byte(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = s.Expand(Overrides{})
+		if err == nil || !strings.Contains(err.Error(), "tracker") {
+			t.Fatalf("unsized tracker patch %s expanded without error (err=%v)", patch, err)
+		}
+	}
+}
+
+// TestExpandDedupAcrossAxisPaths: two axis paths that reach the same
+// configuration produce one request, not two.
+func TestExpandDedupAcrossAxisPaths(t *testing.T) {
+	spec := strings.Replace(gridSpec,
+		`{"label": "ISRB-8",    "patch": {"tracker": "isrb", "entries": 8, "ctrbits": 3}}`,
+		`{"label": "also-unl",  "patch": {}}`, 1)
+	s, err := ParseBytes([]byte(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.MustExpand(Overrides{})
+	// Per ROB row: 2 baseline + 2 opt (both columns identical) = 4
+	// unique requests; 2 rows = 8.
+	if len(m.Requests) != 8 {
+		t.Fatalf("got %d requests, want 8 (identical columns must collapse)", len(m.Requests))
+	}
+	for _, c := range m.Cells {
+		if len(c.Base) != 2 || len(c.Opt) != 2 {
+			t.Fatalf("cell %v has wrong index widths", c)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// reportSchema versions the RunReport JSON so downstream consumers of
+// archived reports can detect layout changes.
+const reportSchema = "sr1"
+
+// CellResult is one grid point's aggregated outcome.
+type CellResult struct {
+	// Labels are the axis value labels selecting this cell.
+	Labels []string `json:"labels"`
+	// Name joins the labels ("rob=192/entries=24" style) for flat
+	// consumers; for single-axis scenarios it is just the value label.
+	Name string `json:"name"`
+	// Series is the per-benchmark speedup of the cell's optimized
+	// configuration over the cell's own baseline, plus the gmean.
+	Series sim.Series `json:"series"`
+}
+
+// RunReport is a scenario's stable machine-readable outcome.
+type RunReport struct {
+	Schema   string       `json:"schema"`
+	Scenario string       `json:"scenario"`
+	Title    string       `json:"title"`
+	Benches  []string     `json:"benchmarks"`
+	Warmup   uint64       `json:"warmup"`
+	Measure  uint64       `json:"measure"`
+	Cells    []CellResult `json:"cells"`
+
+	spec *Spec
+}
+
+// Run executes the matrix through r — one batched RunAll over the
+// deduplicated request list, so the runner's worker pool, singleflight
+// dedup and on-disk store see the whole grid at once — and aggregates
+// every cell's speedup series.
+func (m *Matrix) Run(r *sim.Runner) (*RunReport, error) {
+	results, err := r.RunAll(m.Requests)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", m.Spec.Name, err)
+	}
+	rep := &RunReport{
+		Schema:   reportSchema,
+		Scenario: m.Spec.Name,
+		Title:    m.Spec.Title,
+		Benches:  m.Benches,
+		Warmup:   m.Warmup,
+		Measure:  m.Measure,
+		spec:     m.Spec,
+	}
+	pick := func(idxs []int) []*sim.Result {
+		out := make([]*sim.Result, len(idxs))
+		for i, at := range idxs {
+			out[i] = results[at]
+		}
+		return out
+	}
+	for _, c := range m.Cells {
+		name := c.Labels[0]
+		for _, l := range c.Labels[1:] {
+			name += "/" + l
+		}
+		rep.Cells = append(rep.Cells, CellResult{
+			Labels: c.Labels,
+			Name:   name,
+			Series: sim.MakeSeries(name, pick(c.Base), pick(c.Opt)),
+		})
+	}
+	return rep, nil
+}
+
+// Series returns every cell's speedup series in cell order.
+func (rep *RunReport) Series() []sim.Series {
+	out := make([]sim.Series, len(rep.Cells))
+	for i, c := range rep.Cells {
+		out[i] = c.Series
+	}
+	return out
+}
+
+// Table renders the report in the spec's chosen shape.
+func (rep *RunReport) Table() *stats.Table {
+	if rep.spec != nil && rep.spec.Report.Kind == ReportGrid {
+		return rep.gridTable()
+	}
+	return rep.seriesTable()
+}
+
+// seriesTable renders the figures' shape: one row per benchmark, one
+// column per cell, and a gmean row.
+func (rep *RunReport) seriesTable() *stats.Table {
+	cols := []string{"benchmark"}
+	for _, c := range rep.Cells {
+		cols = append(cols, c.Name)
+	}
+	t := stats.NewTable(rep.Title, cols...)
+	for _, b := range rep.Benches {
+		row := []string{b}
+		for _, c := range rep.Cells {
+			row = append(row, stats.Pct(c.Series.Per[b]))
+		}
+		t.AddRow(row...)
+	}
+	gm := []string{"gmean"}
+	for _, c := range rep.Cells {
+		gm = append(gm, stats.Pct(c.Series.GMean))
+	}
+	t.AddRow(gm...)
+	return t
+}
+
+// gridTable renders the sweeps' shape: first axis down, second axis (or
+// the single value column) across, gmean speedup per cell.
+func (rep *RunReport) gridTable() *stats.Table {
+	spec := rep.spec
+	rowHeader := spec.Report.RowHeader
+	if rowHeader == "" {
+		rowHeader = spec.Axes[0].Name
+	}
+	rows := spec.Axes[0].Values
+	if len(spec.Axes) == 1 {
+		valueHeader := spec.Report.ValueHeader
+		if valueHeader == "" {
+			valueHeader = "speedup"
+		}
+		t := stats.NewTable(rep.Title, rowHeader, valueHeader)
+		for i, v := range rows {
+			t.AddRow(v.Label, stats.Pct(rep.Cells[i].Series.GMean))
+		}
+		return t
+	}
+	cols := []string{rowHeader}
+	for _, v := range spec.Axes[1].Values {
+		cols = append(cols, v.Label)
+	}
+	t := stats.NewTable(rep.Title, cols...)
+	width := len(spec.Axes[1].Values)
+	for i, v := range rows {
+		row := []string{v.Label}
+		for j := 0; j < width; j++ {
+			row = append(row, stats.Pct(rep.Cells[i*width+j].Series.GMean))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

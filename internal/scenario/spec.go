@@ -1,0 +1,214 @@
+// Package scenario is the declarative experiment engine: it turns a
+// JSON `.scenario` spec — a grid of workloads × configuration mutations
+// × tracker schemes × run lengths — into a deduplicated sim.Request
+// matrix, executes it batched through a shared sim.Runner (bounded
+// parallelism, singleflight dedup, sharded on-disk store), and
+// aggregates the results into a stable report: per-cell speedup series,
+// geometric means, and the text tables cmd/sweep and cmd/paperfigs
+// print.
+//
+// The paper's evaluation is exactly such a grid (ME/SMB on/off × five
+// reference-counting schemes × ISRB sizes × 36 workloads), so the
+// headline figures ship as committed specs under specs/ (see Builtin)
+// instead of hard-coded harness Go; opening a new sweep axis means
+// writing a spec, not editing a command.
+//
+// A minimal spec:
+//
+//	{
+//	  "name": "isrb-sweep",
+//	  "title": "SMB speedup vs ISRB size",
+//	  "benchmarks": ["branch-hostile"],
+//	  "warmup": 20000, "measure": 80000,
+//	  "opt": {"smb": true},
+//	  "axes": [{"name": "entries", "values": [
+//	    {"label": "8",  "patch": {"tracker": "isrb", "entries": 8, "ctrbits": 3}},
+//	    {"label": "24", "patch": {"tracker": "isrb", "entries": 24, "ctrbits": 3}}]}],
+//	  "report": {"kind": "grid", "rowheader": "entries", "valueheader": "SMB speedup"}
+//	}
+//
+// Each cell's baseline is default-config + `base` + the patches of every
+// axis marked `"shared": true`; its optimized configuration additionally
+// applies `opt` and the non-shared axis patches. The reported number is
+// always the speedup of the optimized configuration over the cell's own
+// baseline, geometric-mean'd across the benchmark list.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/workloads"
+)
+
+// Value is one point on an axis: a display label plus the configuration
+// patch selecting the point.
+type Value struct {
+	Label string `json:"label"`
+	Patch Patch  `json:"patch"`
+}
+
+// Axis is one sweep dimension. A shared axis patches the cell's baseline
+// as well as its optimized configuration (e.g. a ROB-size axis, where
+// each cell compares against a baseline of the same ROB size); a
+// non-shared axis patches only the optimized side (e.g. an ISRB-size
+// axis, where every cell compares against the one unmodified baseline).
+type Axis struct {
+	Name   string  `json:"name"`
+	Shared bool    `json:"shared,omitempty"`
+	Values []Value `json:"values"`
+}
+
+// Report kinds.
+const (
+	// ReportGrid renders one row per first-axis value and one column per
+	// second-axis value (or a single value column for one axis); each
+	// cell is the gmean speedup over the cell baseline.
+	ReportGrid = "grid"
+	// ReportSeries renders one row per benchmark and one column per cell
+	// (the figures' shape), plus a gmean row.
+	ReportSeries = "series"
+)
+
+// ReportSpec selects how a scenario's results are rendered as a table.
+type ReportSpec struct {
+	Kind        string `json:"kind"`                  // "grid" | "series"
+	RowHeader   string `json:"rowheader,omitempty"`   // grid: first column's header
+	ValueHeader string `json:"valueheader,omitempty"` // 1-axis grid: the value column's header
+}
+
+// Spec is one parsed scenario.
+type Spec struct {
+	Name        string `json:"name"`
+	Title       string `json:"title"`
+	Description string `json:"description,omitempty"`
+	// Benchmarks mixes explicit workload names and group names ("all",
+	// "int", "fp", "branch-hostile"); groups expand in place, duplicates
+	// collapse on first occurrence.
+	Benchmarks []string   `json:"benchmarks"`
+	Warmup     uint64     `json:"warmup"`
+	Measure    uint64     `json:"measure"`
+	Base       Patch      `json:"base,omitempty"`
+	Opt        Patch      `json:"opt,omitempty"`
+	Axes       []Axis     `json:"axes"`
+	Report     ReportSpec `json:"report"`
+}
+
+// Parse reads one spec from r, rejecting unknown fields (a typo'd knob
+// must fail loudly, not silently sweep nothing) and validating it.
+func Parse(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: parse: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// ParseBytes parses a spec held in memory.
+func ParseBytes(data []byte) (*Spec, error) { return Parse(bytes.NewReader(data)) }
+
+// LoadFile parses the spec at path.
+func LoadFile(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	s, err := ParseBytes(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return s, nil
+}
+
+// Validate checks the spec's internal consistency: a non-empty name and
+// grid, resolvable benchmarks, positive run lengths, known patch values
+// and a renderable report shape.
+func (s *Spec) Validate() error {
+	fail := func(format string, args ...interface{}) error {
+		return fmt.Errorf("scenario %q: %s", s.Name, fmt.Sprintf(format, args...))
+	}
+	if s.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	if s.Measure == 0 {
+		return fail("measure must be positive")
+	}
+	if _, err := s.ResolveBenchmarks(); err != nil {
+		return fail("%v", err)
+	}
+	if len(s.Axes) == 0 {
+		return fail("no axes: the grid is empty")
+	}
+	for _, a := range s.Axes {
+		if a.Name == "" {
+			return fail("axis with no name")
+		}
+		if len(a.Values) == 0 {
+			return fail("axis %q has no values: the grid is empty", a.Name)
+		}
+		for _, v := range a.Values {
+			if v.Label == "" {
+				return fail("axis %q has a value with no label", a.Name)
+			}
+			if err := v.Patch.Validate(); err != nil {
+				return fail("axis %q value %q: %v", a.Name, v.Label, err)
+			}
+		}
+	}
+	for side, p := range map[string]*Patch{"base": &s.Base, "opt": &s.Opt} {
+		if err := p.Validate(); err != nil {
+			return fail("%s patch: %v", side, err)
+		}
+	}
+	switch s.Report.Kind {
+	case ReportGrid:
+		if len(s.Axes) > 2 {
+			return fail("grid report needs 1 or 2 axes, spec has %d", len(s.Axes))
+		}
+	case ReportSeries:
+		if len(s.Axes) != 1 {
+			return fail("series report needs exactly 1 axis, spec has %d", len(s.Axes))
+		}
+	default:
+		return fail("unknown report kind %q (known: grid series)", s.Report.Kind)
+	}
+	return nil
+}
+
+// ResolveBenchmarks expands groups and validates names, preserving order
+// and dropping duplicates.
+func (s *Spec) ResolveBenchmarks() ([]string, error) {
+	if len(s.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmarks selected")
+	}
+	var names []string
+	seen := make(map[string]bool)
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	for _, b := range s.Benchmarks {
+		if members, ok := workloads.Group(b); ok {
+			for _, n := range members {
+				add(n)
+			}
+			continue
+		}
+		if _, err := workloads.ByName(b); err != nil {
+			return nil, fmt.Errorf("benchmark %q: not a workload and not a group (groups: %v)",
+				b, workloads.GroupNames())
+		}
+		add(b)
+	}
+	return names, nil
+}

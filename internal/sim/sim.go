@@ -15,8 +15,9 @@
 //     re-running it — e.g. every figure's speedup series shares one
 //     baseline sweep;
 //   - an in-memory result store (the simulator is deterministic, so a
-//     result never goes stale) with an optional on-disk JSON cache so
-//     separate invocations of cmd/paperfigs and cmd/sweep reuse runs.
+//     result never goes stale) with an optional sharded on-disk store
+//     (see Store) so separate invocations — and separate concurrent
+//     processes sharing one -cachedir — reuse each other's runs.
 package sim
 
 import (
@@ -25,7 +26,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -97,10 +97,19 @@ func WithWorkers(n int) Option {
 	}
 }
 
-// WithCacheDir enables the on-disk result cache under dir (one JSON file
-// per request key). An empty dir leaves the disk cache off.
+// WithCacheDir enables the sharded on-disk result store under dir (see
+// Store). An empty dir leaves the disk cache off.
 func WithCacheDir(dir string) Option {
-	return func(r *Runner) { r.dir = dir }
+	return func(r *Runner) {
+		if dir != "" {
+			r.store = NewStore(dir)
+		}
+	}
+}
+
+// WithStore attaches an existing on-disk result store to the Runner.
+func WithStore(s *Store) Option {
+	return func(r *Runner) { r.store = s }
 }
 
 // Runner runs simulations with deduplication, caching and a bounded
@@ -108,7 +117,7 @@ func WithCacheDir(dir string) Option {
 type Runner struct {
 	workers int
 	sem     chan struct{}
-	dir     string
+	store   *Store
 
 	mu    sync.Mutex
 	calls map[string]*call
@@ -174,8 +183,9 @@ var cacheVersion = sync.OnceValue(func() string {
 // Key returns the deduplication key of req: the benchmark name, a digest
 // of the full configuration (which is pure data, so its JSON encoding is
 // deterministic) and the run lengths. The simulator version tag is NOT
-// part of this key — in-memory results can never be stale — it is
-// appended to the on-disk filename by diskPath.
+// part of this key — in-memory results can never be stale — the on-disk
+// Store instead records it in each entry's envelope header and treats a
+// mismatch as a miss (see Store.Load).
 func Key(req Request) string {
 	cfg, err := json.Marshal(req.Config)
 	if err != nil {
@@ -342,50 +352,17 @@ func Snapshot(bench string, staticUops int, c *core.Core, st *core.Stats) *Resul
 
 // --- on-disk cache ------------------------------------------------------
 
-func (r *Runner) diskPath(key string) string {
-	return filepath.Join(r.dir, key+"-"+cacheVersion()+".json")
-}
-
 func (r *Runner) loadDisk(key string) (*Result, bool) {
-	if r.dir == "" {
+	if r.store == nil {
 		return nil, false
 	}
-	data, err := os.ReadFile(r.diskPath(key))
-	if err != nil {
-		return nil, false
-	}
-	var res Result
-	if err := json.Unmarshal(data, &res); err != nil {
-		return nil, false
-	}
-	return &res, true
+	return r.store.Load(key)
 }
 
-// storeDisk writes res under key, via a temp file + rename so concurrent
-// processes sharing a cache dir never observe a partial file. Cache
-// write failures are ignored: the in-memory result is already correct.
+// storeDisk writes res to the attached store, if any. Cache write
+// failures are ignored: the in-memory result is already correct.
 func (r *Runner) storeDisk(key string, res *Result) {
-	if r.dir == "" {
-		return
-	}
-	if err := os.MkdirAll(r.dir, 0o755); err != nil {
-		return
-	}
-	data, err := json.MarshalIndent(res, "", " ")
-	if err != nil {
-		return
-	}
-	tmp, err := os.CreateTemp(r.dir, key+".tmp*")
-	if err != nil {
-		return
-	}
-	_, werr := tmp.Write(data)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		return
-	}
-	if os.Rename(tmp.Name(), r.diskPath(key)) != nil {
-		os.Remove(tmp.Name())
+	if r.store != nil {
+		r.store.Put(key, res)
 	}
 }

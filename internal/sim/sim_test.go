@@ -91,7 +91,7 @@ func TestDiskRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	r1 := New(WithCacheDir(dir))
 	want := r1.MustRun(quickReq("crafty"))
-	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	files, err := filepath.Glob(filepath.Join(dir, "*", "*.json"))
 	if err != nil || len(files) != 1 {
 		t.Fatalf("cache dir files = %v, err = %v", files, err)
 	}
@@ -112,7 +112,7 @@ func TestDiskCacheIgnoresCorruptFile(t *testing.T) {
 	dir := t.TempDir()
 	r1 := New(WithCacheDir(dir))
 	r1.MustRun(quickReq("crafty"))
-	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	files, _ := filepath.Glob(filepath.Join(dir, "*", "*.json"))
 	if err := os.WriteFile(files[0], []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// storeSchema tags the on-disk envelope layout. Bump it when the envelope
+// or Result shape changes incompatibly; entries with another schema are
+// treated as misses and eventually overwritten.
+const storeSchema = "rs1"
+
+// Store is the sharded, content-addressed on-disk result store behind
+// WithCacheDir. One store directory can be shared by many concurrent
+// processes (and by grids of many thousands of cells):
+//
+//   - entries are addressed by the request's content — the file name is
+//     the SHA-256 digest of the sim.Key, so identical requests from any
+//     process land on the same file and distinct requests never collide;
+//   - files fan out into 256 shard directories keyed by the digest's
+//     first byte, keeping any single directory small even for very large
+//     grids;
+//   - writes go through a temp file + rename in the target shard, so a
+//     reader never observes a partial entry;
+//   - every entry carries a versioned header (store schema + simulator
+//     identity + the full key); a mismatch on any of them is a miss, so
+//     a long-lived store directory survives simulator rebuilds without
+//     ever serving stale or foreign results.
+type Store struct {
+	dir string
+}
+
+// envelope is the on-disk entry format: a versioned header wrapped
+// around the cached Result.
+type envelope struct {
+	Schema     string  `json:"schema"`      // storeSchema at write time
+	SimVersion string  `json:"sim_version"` // cacheVersion at write time
+	Key        string  `json:"key"`         // full sim.Key (collision guard)
+	Result     *Result `json:"result"`
+}
+
+// NewStore opens (lazily — no I/O happens until the first access) the
+// store rooted at dir.
+func NewStore(dir string) *Store {
+	return &Store{dir: dir}
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Path returns the entry path for key: <dir>/<shard>/<digest>.json where
+// shard is the first byte of the key's SHA-256 digest.
+func (s *Store) Path(key string) string {
+	d := sha256.Sum256([]byte(key))
+	digest := hex.EncodeToString(d[:])
+	return filepath.Join(s.dir, digest[:2], digest+".json")
+}
+
+// Load returns the stored result for key, or false on any miss: absent
+// entry, unreadable or partial JSON, or a header whose schema, simulator
+// version or key does not match.
+func (s *Store) Load(key string) (*Result, bool) {
+	data, err := os.ReadFile(s.Path(key))
+	if err != nil {
+		return nil, false
+	}
+	var e envelope
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, false
+	}
+	if e.Schema != storeSchema || e.SimVersion != cacheVersion() || e.Key != key || e.Result == nil {
+		return nil, false
+	}
+	return e.Result, true
+}
+
+// Put writes res under key atomically (temp file + rename inside the
+// shard directory). Errors are returned for tests and diagnostics, but
+// callers holding the in-memory result may ignore them: a failed cache
+// write never affects correctness.
+func (s *Store) Put(key string, res *Result) error {
+	path := s.Path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(envelope{
+		Schema:     storeSchema,
+		SimVersion: cacheVersion(),
+		Key:        key,
+		Result:     res,
+	}, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".put*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Len walks the store and returns the number of entries on disk,
+// regardless of schema or simulator version. Intended for tests and
+// diagnostics, not hot paths.
+func (s *Store) Len() int {
+	n := 0
+	filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n
+}

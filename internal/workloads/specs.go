@@ -195,3 +195,36 @@ func MustProgram(name string) *program.Program {
 	}
 	return Build(s)
 }
+
+// Group resolves a named benchmark group to its member list, in catalog
+// order. Known groups:
+//
+//   - "all":            the full 36-benchmark suite;
+//   - "int", "fp":      the two suites the paper's figures split on;
+//   - "branch-hostile": the benchmarks whose hard (data-dependent,
+//     ~50/50) branch share is at least 40% — the subset where deep
+//     speculation is most often wrong and checkpoint recovery dominates.
+//
+// The second return value reports whether name is a known group.
+func Group(name string) ([]string, bool) {
+	switch name {
+	case "all":
+		return Names(), true
+	case "int":
+		return IntNames(), true
+	case "fp":
+		return FPNames(), true
+	case "branch-hostile":
+		var names []string
+		for _, s := range Catalog() {
+			if s.HardBranchPct >= 0.4 {
+				names = append(names, s.Name)
+			}
+		}
+		return names, true
+	}
+	return nil, false
+}
+
+// GroupNames lists the named groups Group resolves.
+func GroupNames() []string { return []string{"all", "int", "fp", "branch-hostile"} }
