@@ -12,11 +12,12 @@ package regshare
 //	go test -bench=. -benchmem
 //
 // All simulations flow through the shared internal/sim runner (via the
-// experiments session and regshare.Run), which deduplicates and caches
-// results, so repeated benchmark iterations after the first are nearly
-// free.
+// experiments session and regshare.RunContext), which deduplicates and
+// caches results, so repeated benchmark iterations after the first are
+// nearly free.
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -193,7 +194,10 @@ func BenchmarkAblationRecoveryScheme(b *testing.B) {
 	run := func(kind core.TrackerKind) float64 {
 		cfg := Combined(0)
 		cfg.Tracker = core.TrackerConfig{Kind: kind, Entries: 64, CounterBits: 8}
-		r := MustRun(RunSpec{Benchmark: "gobmk", Config: cfg, Warmup: 5000, Measure: 40000})
+		r, err := RunContext(context.Background(), RunSpec{Benchmark: "gobmk", Config: cfg, Warmup: 5000, Measure: 40000})
+		if err != nil {
+			b.Fatal(err)
+		}
 		return r.Stats.IPC()
 	}
 	var isrb, counters float64
@@ -211,7 +215,10 @@ func BenchmarkAblationReclaimFlag(b *testing.B) {
 	var skipped, checks uint64
 	for i := 0; i < b.N; i++ {
 		cfg := Combined(32)
-		r := MustRun(RunSpec{Benchmark: "hmmer", Config: cfg, Warmup: 5000, Measure: 40000})
+		r, err := RunContext(context.Background(), RunSpec{Benchmark: "hmmer", Config: cfg, Warmup: 5000, Measure: 40000})
+		if err != nil {
+			b.Fatal(err)
+		}
 		skipped = r.Stats.ReclaimSkippedByFlag
 		checks = r.Stats.ReclaimChecks
 	}
@@ -224,11 +231,19 @@ func BenchmarkAblationPrefetcher(b *testing.B) {
 	var on, off float64
 	for i := 0; i < b.N; i++ {
 		cfg := Baseline()
-		r := MustRun(RunSpec{Benchmark: "libquantum", Config: cfg, Warmup: 5000, Measure: 30000})
-		on = r.Stats.IPC()
-		cfg.Mem.PrefEnable = false
-		r = MustRun(RunSpec{Benchmark: "libquantum", Config: cfg, Warmup: 5000, Measure: 30000})
-		off = r.Stats.IPC()
+		results, err := StreamSpecs(context.Background(), []RunSpec{
+			{Benchmark: "libquantum", Config: cfg, Warmup: 5000, Measure: 30000},
+			{Benchmark: "libquantum", Config: func() Config {
+				c := cfg
+				c.Mem.PrefEnable = false
+				return c
+			}(), Warmup: 5000, Measure: 30000},
+		}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		on = results[0].Stats.IPC()
+		off = results[1].Stats.IPC()
 	}
 	b.ReportMetric(on, "prefetch_on_IPC")
 	b.ReportMetric(off, "prefetch_off_IPC")

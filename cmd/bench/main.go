@@ -17,6 +17,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -42,11 +43,20 @@ func main() {
 		return
 	}
 
-	rep, err := sim.RunBench(points, *quick, func(r sim.BenchResult) {
-		fmt.Printf("%-10s %-10s %9d cycles  ipc=%5.3f  %8.1f ms  %10.0f cycles/sec\n",
-			r.Bench, r.Tracker, r.Cycles, r.IPC, float64(r.WallNS)/1e6, r.CyclesPerSec)
+	// ^C aborts the current point mid-simulation; a partial report is
+	// not written (the pinned set is only comparable when complete).
+	ctx := sim.SignalContext()
+	done := 0
+	rep, err := sim.RunBench(ctx, points, *quick, func(r sim.BenchResult) {
+		done++
+		fmt.Printf("[%d/%d] %-10s %-10s %9d cycles  ipc=%5.3f  %8.1f ms  %10.0f cycles/sec\n",
+			done, len(points), r.Bench, r.Tracker, r.Cycles, r.IPC, float64(r.WallNS)/1e6, r.CyclesPerSec)
 	})
 	if err != nil {
+		if errors.Is(err, sim.ErrCanceled) {
+			fmt.Fprintln(os.Stderr, "interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -40,7 +41,22 @@ func main() {
 	)
 	flag.Parse()
 
+	// ^C cancels the context; the session's figure methods then panic
+	// with a sim.ErrCanceled-wrapping error, which the deferred recover
+	// turns into a clean exit (completed simulations stay in -cachedir).
+	ctx := sim.SignalContext()
 	runner := sim.New(sim.WithCacheDir(*cachedir))
+	progress := sim.NewProgress(os.Stderr, runner, 0)
+	defer func() {
+		if v := recover(); v != nil {
+			if err, ok := v.(error); ok && errors.Is(err, sim.ErrCanceled) {
+				progress.Finish()
+				fmt.Fprintln(os.Stderr, "interrupted")
+				os.Exit(130)
+			}
+			panic(v)
+		}
+	}()
 	start := time.Now()
 
 	if *scen != "" {
@@ -58,8 +74,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		rep, err := matrix.Run(runner)
+		progress.AddTotal(len(matrix.Requests))
+		rep, err := matrix.Run(ctx, runner, progress.Observe)
+		progress.Finish()
 		if err != nil {
+			if errors.Is(err, sim.ErrCanceled) {
+				fmt.Fprintln(os.Stderr, "interrupted")
+				os.Exit(130)
+			}
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -68,71 +90,80 @@ func main() {
 		return
 	}
 
-	s := experiments.NewSessionWith(experiments.RunLengths{Warmup: *warmup, Measure: *measure}, runner)
+	// Figure sweeps discover work figure by figure, so the total is
+	// unknown upfront; the progress line shows the running done count.
+	s := experiments.NewSessionContext(ctx, experiments.RunLengths{Warmup: *warmup, Measure: *measure}, runner)
+	s.OnEvent = progress.Observe
 	want := func(name string) bool { return *exp == "all" || *exp == name }
+	// show terminates the live progress line before each table so stdout
+	// and the stderr progress line never interleave mid-draw.
+	show := func(v fmt.Stringer) {
+		progress.Finish()
+		fmt.Println(v)
+	}
 
 	if want("table1") {
-		fmt.Println(experiments.Table1())
+		show(experiments.Table1())
 	}
 	if want("storage") {
-		fmt.Println(experiments.StorageTable())
+		show(experiments.StorageTable())
 	}
 	if want("fig4") {
-		fmt.Println(s.Fig4())
+		show(s.Fig4())
 	}
 	if want("fig5a") {
 		t, _ := s.Fig5a()
-		fmt.Println(t)
+		show(t)
 	}
 	if want("fig5b") {
 		t, _ := s.Fig5b()
-		fmt.Println(t)
+		show(t)
 	}
 	if want("fig6a") {
 		t, _ := s.Fig6a()
-		fmt.Println(t)
+		show(t)
 	}
 	if want("fig6b") {
-		fmt.Println(s.Fig6b())
+		show(s.Fig6b())
 	}
 	if want("fig6c") {
 		t, _ := s.Fig6c()
-		fmt.Println(t)
+		show(t)
 	}
 	if want("fig7") {
 		t, _ := s.Fig7()
-		fmt.Println(t)
+		show(t)
 	}
 	if want("ddt") {
 		t, _ := s.DDTSizing()
-		fmt.Println(t)
+		show(t)
 	}
 	if want("storeonly") {
 		t, _ := s.StoreOnly()
-		fmt.Println(t)
+		show(t)
 	}
 	if want("cwidth") {
 		t, _ := s.CounterWidth()
-		fmt.Println(t)
+		show(t)
 	}
 	if want("ports") {
-		fmt.Println(s.ISRBTraffic())
+		show(s.ISRBTraffic())
 	}
 	if want("rob512") {
 		t, _ := s.ROB512Lazy()
-		fmt.Println(t)
+		show(t)
 	}
 	if want("singlebit") {
 		t, _ := s.SingleBitME()
-		fmt.Println(t)
+		show(t)
 	}
 	if want("disthist") {
 		t, _ := s.DistanceHistorySweep()
-		fmt.Println(t)
+		show(t)
 	}
 	if want("trackers") {
 		t, _ := s.TrackerComparison()
-		fmt.Println(t)
+		show(t)
 	}
 
 	known := "table1 storage fig4 fig5a fig5b fig6a fig6b fig6c fig7 ddt storeonly cwidth ports rob512 singlebit disthist trackers all"
@@ -140,6 +171,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (known: %s)\n", *exp, known)
 		os.Exit(1)
 	}
+	progress.Finish()
 	reportCounters(runner, start)
 }
 

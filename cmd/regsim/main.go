@@ -10,7 +10,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -67,14 +69,30 @@ func main() {
 		CounterBits: *ctrBits,
 	}
 
+	// One validation contract for both paths: the -trace path drives the
+	// core directly, so check the request here instead of letting
+	// core.New panic on a config the runner would have rejected cleanly.
+	req := sim.Request{Bench: *bench, Config: cfg, Warmup: *warmup, Measure: *measure}
+	if err := req.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// ^C aborts the run mid-cycle-loop with a typed error instead of
+	// killing the process.
+	ctx := sim.SignalContext()
 	var res *sim.Result
 	if *trace > 0 {
-		res = traceRun(cfg, *bench, *warmup, *measure, *trace)
+		res = traceRun(ctx, cfg, *bench, *warmup, *measure, *trace)
 	} else {
 		runner := sim.New(sim.WithCacheDir(*cachedir))
 		var err error
-		res, err = runner.Run(sim.Request{Bench: *bench, Config: cfg, Warmup: *warmup, Measure: *measure})
+		res, err = runner.Run(ctx, req)
 		if err != nil {
+			if errors.Is(err, sim.ErrCanceled) {
+				fmt.Fprintln(os.Stderr, "interrupted")
+				os.Exit(130)
+			}
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -126,8 +144,9 @@ func main() {
 
 // traceRun builds the core directly, warms it up, traces the first n
 // cycles of measurement, then finishes the measured region and packages
-// the statistics in the sim.Result shape the printers expect.
-func traceRun(cfg core.Config, bench string, warmup, measure, n uint64) *sim.Result {
+// the statistics in the sim.Result shape the printers expect. The
+// warmup and post-trace regions observe ctx like any other run.
+func traceRun(ctx context.Context, cfg core.Config, bench string, warmup, measure, n uint64) *sim.Result {
 	spec, err := workloads.ByName(bench)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -135,12 +154,19 @@ func traceRun(cfg core.Config, bench string, warmup, measure, n uint64) *sim.Res
 	}
 	prog := workloads.Build(spec)
 	c := core.New(cfg, prog)
-	c.Run(warmup, 1)
+	finish := func(st *core.Stats, err error) *core.Stats {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "interrupted")
+			os.Exit(130)
+		}
+		return st
+	}
+	finish(c.RunContext(ctx, warmup, 1))
 	c.AttachTracer(&core.TextTracer{W: os.Stderr})
 	for i := uint64(0); i < n; i++ {
 		c.Cycle()
 	}
 	c.AttachTracer(nil)
-	st := c.Run(0, measure)
+	st := finish(c.RunContext(ctx, 0, measure))
 	return sim.Snapshot(spec.Name, prog.NumInsts(), c, st)
 }

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -57,9 +58,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	// ^C aborts the frontier sweep mid-simulation; completed cells stay
+	// in the -cachedir store for the next invocation.
+	ctx := sim.SignalContext()
 	runner := sim.New(sim.WithCacheDir(*cachedir))
-	rep, err := matrix.Run(runner)
+	progress := sim.NewProgress(os.Stderr, runner, len(matrix.Requests))
+	rep, err := matrix.Run(ctx, runner, progress.Observe)
+	progress.Finish()
 	if err != nil {
+		if errors.Is(err, sim.ErrCanceled) {
+			fmt.Fprintln(os.Stderr, "interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -87,7 +97,5 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Println(t)
-	c := runner.Counters()
-	fmt.Fprintf(os.Stderr, "%d requests: %d simulated, %d deduplicated, %d from the store\n",
-		len(matrix.Requests), c.Simulated, c.MemHits, c.DiskHits)
+	fmt.Fprintln(os.Stderr, progress.Summary())
 }

@@ -37,6 +37,15 @@ import (
 	"repro/internal/sim"
 )
 
+// exitCanceled handles ^C uniformly: a canceled run reports
+// "interrupted" and exits with the conventional SIGINT status.
+func exitCanceled(err error) {
+	if errors.Is(err, sim.ErrCanceled) {
+		fmt.Fprintln(os.Stderr, "interrupted")
+		os.Exit(130)
+	}
+}
+
 func main() {
 	var (
 		kind     = flag.String("kind", "", "paper sweep kind: isrb|rob|stlf (shorthand for -scenario sweep-<kind>)")
@@ -104,9 +113,16 @@ func main() {
 		fail(err)
 	}
 
+	// ^C cancels the context, which aborts the in-flight simulations
+	// mid-cycle-loop; completed cells are already in the store (if
+	// -cachedir is set), so a re-run resumes where this one stopped.
+	ctx := sim.SignalContext()
 	runner := sim.New(sim.WithCacheDir(*cachedir))
-	rep, err := matrix.Run(runner)
+	progress := sim.NewProgress(os.Stderr, runner, len(matrix.Requests))
+	rep, err := matrix.Run(ctx, runner, progress.Observe)
+	progress.Finish()
 	if err != nil {
+		exitCanceled(err)
 		fail(err)
 	}
 
@@ -120,8 +136,6 @@ func main() {
 		fmt.Println(rep.Table())
 	}
 	if *verbose {
-		c := runner.Counters()
-		fmt.Fprintf(os.Stderr, "%d requests: %d simulated, %d deduplicated, %d from the store\n",
-			len(matrix.Requests), c.Simulated, c.MemHits, c.DiskHits)
+		fmt.Fprintln(os.Stderr, progress.Summary())
 	}
 }

@@ -5,21 +5,28 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	regshare "repro"
 )
 
 var short = flag.Bool("short", false, "run much shorter simulations (CI smoke mode)")
 
-func run(bench string, cfg regshare.Config) *regshare.Result {
-	spec := regshare.RunSpec{Benchmark: bench, Config: cfg}
+func spec(bench string, cfg regshare.Config) regshare.RunSpec {
+	s := regshare.RunSpec{Benchmark: bench, Config: cfg}
 	if *short {
-		spec.Warmup, spec.Measure = 5_000, 20_000
+		s.Warmup, s.Measure = 5_000, 20_000
 	}
-	r, err := regshare.Run(spec)
+	return s
+}
+
+func run(ctx context.Context, bench string, cfg regshare.Config) *regshare.Result {
+	r, err := regshare.RunContext(ctx, spec(bench, cfg))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -28,15 +35,39 @@ func run(bench string, cfg regshare.Config) *regshare.Result {
 
 func main() {
 	flag.Parse()
-	for _, bench := range []string{"crafty", "vortex", "namd"} {
-		base := run(bench, regshare.Baseline())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// Warm the whole sweep through the streaming API: every (benchmark,
+	// config) pair runs once, in parallel, and the per-run prints below
+	// are then served from the runner's in-memory store.
+	var specs []regshare.RunSpec
+	benches := []string{"crafty", "vortex", "namd"}
+	for _, bench := range benches {
+		specs = append(specs, spec(bench, regshare.Baseline()))
+		for _, entries := range []int{8, 16, 32, 0} {
+			specs = append(specs, spec(bench, regshare.WithME(entries)))
+		}
+	}
+	done := 0
+	if _, err := regshare.StreamSpecs(ctx, specs, func(ev regshare.Event) {
+		done++
+		fmt.Fprintf(os.Stderr, "\rsimulating %d/%d", done, len(specs))
+	}); err != nil {
+		fmt.Fprintln(os.Stderr)
+		log.Fatal(err)
+	}
+	fmt.Fprint(os.Stderr, "\r                      \r")
+
+	for _, bench := range benches {
+		base := run(ctx, bench, regshare.Baseline())
 		fmt.Printf("%s: baseline IPC %.3f\n", bench, base.Stats.IPC())
 		for _, entries := range []int{8, 16, 32, 0} {
 			label := fmt.Sprintf("ISRB-%d", entries)
 			if entries == 0 {
 				label = "unlimited"
 			}
-			r := run(bench, regshare.WithME(entries))
+			r := run(ctx, bench, regshare.WithME(entries))
 			fmt.Printf("  ME %-10s IPC %.3f (%+.1f%%), eliminated %5.2f%% of µops\n",
 				label, r.Stats.IPC(),
 				100*(r.Stats.IPC()/base.Stats.IPC()-1),

@@ -1,13 +1,17 @@
 // Quickstart: run one benchmark on the baseline machine and on the
 // paper's headline configuration (ME + SMB over a 32-entry ISRB with
 // 3-bit counters — 480 bits of tracking storage, §6.3), and print the
-// speedup.
+// speedup. The context-first API means ^C aborts the simulations
+// mid-cycle-loop instead of killing the process.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	regshare "repro"
 )
@@ -20,7 +24,10 @@ func main() {
 		warmup, measure = 5_000, 20_000
 	}
 
-	base, err := regshare.Run(regshare.RunSpec{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	base, err := regshare.RunContext(ctx, regshare.RunSpec{
 		Benchmark: "crafty",
 		Config:    regshare.Baseline(),
 		Warmup:    warmup,
@@ -30,7 +37,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	opt, err := regshare.Run(regshare.RunSpec{
+	opt, err := regshare.RunContext(ctx, regshare.RunSpec{
 		Benchmark: "crafty",
 		Config:    regshare.Combined(32),
 		Warmup:    warmup,

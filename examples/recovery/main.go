@@ -6,9 +6,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	regshare "repro"
 	"repro/internal/core"
@@ -21,8 +24,10 @@ var short = flag.Bool("short", false, "run much shorter simulations (CI smoke mo
 
 func main() {
 	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	figure3()
-	machineComparison()
+	machineComparison(ctx)
 }
 
 // figure3 narrates the paper's working example (§4.3.1).
@@ -56,7 +61,7 @@ func figure3() {
 
 // machineComparison runs the same branchy benchmark with the ISRB and with
 // per-register counters (sequential rollback) to show the recovery cost.
-func machineComparison() {
+func machineComparison(ctx context.Context) {
 	fmt.Println("== Recovery scheme comparison on a mispredict-heavy workload ==")
 	mk := func(kind core.TrackerKind) *regshare.Result {
 		cfg := regshare.Combined(0)
@@ -65,7 +70,7 @@ func machineComparison() {
 		if *short {
 			spec.Warmup, spec.Measure = 5_000, 20_000
 		}
-		r, err := regshare.Run(spec)
+		r, err := regshare.RunContext(ctx, spec)
 		if err != nil {
 			log.Fatal(err)
 		}

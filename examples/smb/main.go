@@ -5,18 +5,21 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	regshare "repro"
 )
 
 var short = flag.Bool("short", false, "run much shorter simulations (CI smoke mode)")
 
-func run(bench string, cfg regshare.Config) *regshare.Result {
+func run(ctx context.Context, bench string, cfg regshare.Config) *regshare.Result {
 	// Warmup 1, not 0: effectively no warmup, so the one-time dependence
-	// training events stay visible (regshare.Run treats 0 as "use the
+	// training events stay visible (the runner treats 0 as "use the
 	// 50k default").
 	spec := regshare.RunSpec{
 		Benchmark: bench, Config: cfg,
@@ -25,7 +28,7 @@ func run(bench string, cfg regshare.Config) *regshare.Result {
 	if *short {
 		spec.Measure = 30_000
 	}
-	r, err := regshare.Run(spec)
+	r, err := regshare.RunContext(ctx, spec)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,12 +37,14 @@ func run(bench string, cfg regshare.Config) *regshare.Result {
 
 func main() {
 	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	const bench = "hmmer"
-	base := run(bench, regshare.Baseline())
+	base := run(ctx, bench, regshare.Baseline())
 	fmt.Printf("%s baseline:  IPC %.3f, %d memory traps, %d false dependencies\n",
 		bench, base.Stats.IPC(), base.Stats.MemTraps, base.Stats.FalseDeps)
 
-	tage := run(bench, regshare.WithSMB(24))
+	tage := run(ctx, bench, regshare.WithSMB(24))
 	fmt.Printf("SMB (TAGE-like distance predictor, 24-entry ISRB):\n")
 	fmt.Printf("  IPC %.3f (%+.1f%%), bypassed %.1f%% of loads\n",
 		tage.Stats.IPC(), 100*(tage.Stats.IPC()/base.Stats.IPC()-1), 100*tage.Stats.BypassRate())
@@ -47,15 +52,15 @@ func main() {
 		base.Stats.MemTraps, tage.Stats.MemTraps,
 		base.Stats.FalseDeps, tage.Stats.FalseDeps, tage.Stats.TrapsAvoidedSMB)
 
-	nosq := run(bench, regshare.UseNoSQPredictor(regshare.WithSMB(24)))
+	nosq := run(ctx, bench, regshare.UseNoSQPredictor(regshare.WithSMB(24)))
 	fmt.Printf("SMB (NoSQ-style 2-table predictor): IPC %.3f (%+.1f%%), bypassed %.1f%%\n",
 		nosq.Stats.IPC(), 100*(nosq.Stats.IPC()/base.Stats.IPC()-1), 100*nosq.Stats.BypassRate())
 
-	so := run(bench, regshare.StoreOnly(regshare.WithSMB(24)))
+	so := run(ctx, bench, regshare.StoreOnly(regshare.WithSMB(24)))
 	fmt.Printf("SMB store-load only (no load-load): IPC %.3f (%+.1f%%), bypassed %.1f%%\n",
 		so.Stats.IPC(), 100*(so.Stats.IPC()/base.Stats.IPC()-1), 100*so.Stats.BypassRate())
 
-	lazy := run(bench, regshare.WithLazyReclaim(regshare.WithSMB(24)))
+	lazy := run(ctx, bench, regshare.WithLazyReclaim(regshare.WithSMB(24)))
 	fmt.Printf("SMB + lazy reclaim (bypass from committed): IPC %.3f, %d bypasses from committed producers\n",
 		lazy.Stats.IPC(), lazy.Stats.BypassedFromCommitted)
 }

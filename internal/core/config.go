@@ -4,6 +4,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/branch"
 	"repro/internal/cache"
 	"repro/internal/isa"
@@ -204,15 +206,40 @@ func ExecLatency(u *isa.Uop) uint64 {
 	}
 }
 
-// Sanity checks used by New.
-func (c *Config) validate() {
+// Check reports whether the configuration names a machine the simulator
+// can build, as an error value. It is the validation the execution API
+// layers (internal/sim's typed ErrBadConfig) surface to callers before
+// constructing a core; New itself panics on the same conditions, since
+// a caller reaching New with an unchecked bad configuration is a bug.
+func (c *Config) Check() error {
 	if c.ROBSize <= 0 || c.IQSize <= 0 || c.LQSize <= 0 || c.SQSize <= 0 {
-		panic("core: non-positive window size")
+		return fmt.Errorf("non-positive window size (rob=%d iq=%d lq=%d sq=%d)",
+			c.ROBSize, c.IQSize, c.LQSize, c.SQSize)
 	}
 	if c.PhysRegsPerClass <= isa.NumArchRegs {
-		panic("core: need more physical than architectural registers")
+		return fmt.Errorf("need more than %d physical registers per class, have %d",
+			isa.NumArchRegs, c.PhysRegsPerClass)
 	}
 	if c.RenameWidth <= 0 || c.IssueWidth <= 0 || c.CommitWidth <= 0 {
-		panic("core: non-positive width")
+		return fmt.Errorf("non-positive pipeline width (rename=%d issue=%d commit=%d)",
+			c.RenameWidth, c.IssueWidth, c.CommitWidth)
+	}
+	switch c.Tracker.Kind {
+	case "", TrackerISRB, TrackerUnlimited, TrackerCounters, TrackerMIT, TrackerRDA:
+	default:
+		return fmt.Errorf("unknown tracker kind %q (known: isrb unlimited counters mit rda)", c.Tracker.Kind)
+	}
+	switch c.SMB.Predictor {
+	case "", DistanceTAGE, DistanceNoSQ:
+	default:
+		return fmt.Errorf("unknown SMB distance predictor %q (known: tage nosq)", c.SMB.Predictor)
+	}
+	return nil
+}
+
+// Sanity checks used by New.
+func (c *Config) validate() {
+	if err := c.Check(); err != nil {
+		panic("core: " + err.Error())
 	}
 }

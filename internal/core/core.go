@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/branch"
@@ -313,19 +314,47 @@ func (c *Core) Cycle() {
 
 // Run executes until `measure` µops have committed after a warmup of
 // `warmup` committed µops; statistics cover only the measured region.
+// It cannot be interrupted; long or batched runs should use RunContext.
 func (c *Core) Run(warmup, measure uint64) *Stats {
-	target := c.stats.Committed + warmup
-	c.runUntil(target)
-	c.stats.reset()
-	start := c.cycle
-	c.runUntil(c.stats.Committed + measure)
-	c.stats.Cycles = c.cycle - start
-	return &c.stats
+	st, err := c.RunContext(context.Background(), warmup, measure)
+	if err != nil {
+		// Unreachable: the background context is never canceled.
+		panic(fmt.Sprintf("core: %v", err))
+	}
+	return st
 }
 
-func (c *Core) runUntil(committedTarget uint64) {
+// cancelCheckInterval is how many cycles the run loop executes between
+// context checks. At simulator speeds (hundreds of thousands of cycles
+// per second) 4096 cycles is a few milliseconds of wall clock — far
+// below any human-visible progress interval — while keeping the check
+// itself (one predictable branch per cycle, one ctx.Err call per
+// interval) invisible in the hot-loop profile.
+const cancelCheckInterval = 4096
+
+// RunContext is Run with cancellation: the cycle loop checks ctx every
+// cancelCheckInterval cycles and returns ctx.Err() — the machine state
+// is left mid-flight and must not be reused for measurement — when the
+// context is canceled or its deadline passes. Statistics cover only the
+// measured region.
+func (c *Core) RunContext(ctx context.Context, warmup, measure uint64) (*Stats, error) {
+	if err := c.runUntil(ctx, c.stats.Committed+warmup); err != nil {
+		return nil, err
+	}
+	c.stats.reset()
+	start := c.cycle
+	err := c.runUntil(ctx, c.stats.Committed+measure)
+	c.stats.Cycles = c.cycle - start
+	if err != nil {
+		return nil, err
+	}
+	return &c.stats, nil
+}
+
+func (c *Core) runUntil(ctx context.Context, committedTarget uint64) error {
 	lastCommitted := c.stats.Committed
 	stuck := uint64(0)
+	check := uint64(cancelCheckInterval)
 	for c.stats.Committed < committedTarget {
 		c.Cycle()
 		if c.stats.Committed == lastCommitted {
@@ -337,7 +366,15 @@ func (c *Core) runUntil(committedTarget uint64) {
 			stuck = 0
 			lastCommitted = c.stats.Committed
 		}
+		check--
+		if check == 0 {
+			check = cancelCheckInterval
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 	}
+	return nil
 }
 
 func (c *Core) debugState() string {

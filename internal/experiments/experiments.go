@@ -7,7 +7,7 @@
 package experiments
 
 import (
-	"fmt"
+	"context"
 
 	"repro/internal/core"
 	"repro/internal/scenario"
@@ -36,26 +36,46 @@ type Result = sim.Result
 type Series = sim.Series
 
 // Session pairs run lengths with the sim.Runner that executes, caches
-// and deduplicates the simulations. Several Sessions may share one
-// Runner: the deduplication key includes the run lengths.
+// and deduplicates the simulations, and with the context every one of
+// its runs observes. Several Sessions may share one Runner: the
+// deduplication key includes the run lengths.
+//
+// The figure methods keep their value-returning signatures (they exist
+// to be printed); when the session's context is canceled or a request
+// is invalid, they panic with the runner's typed error value, which
+// drivers recover at the top (see cmd/paperfigs) and test against with
+// errors.Is.
 type Session struct {
 	RL RunLengths
 
-	r *sim.Runner
+	// OnEvent, when non-nil, receives every per-request completion
+	// event the session's batched runs stream — the hook cmd/paperfigs
+	// hangs its live progress line on.
+	OnEvent func(sim.Event)
+
+	ctx context.Context
+	r   *sim.Runner
 }
 
 // NewSession creates a session with the given run lengths and a private
-// runner.
+// runner, on the background context.
 func NewSession(rl RunLengths) *Session { return NewSessionWith(rl, nil) }
 
 // NewSessionWith creates a session on an existing runner (nil: a new
 // one), so callers — the test suite's TestMain, cmd/paperfigs with a
 // disk cache — can share results across sessions.
 func NewSessionWith(rl RunLengths, r *sim.Runner) *Session {
+	return NewSessionContext(context.Background(), rl, r)
+}
+
+// NewSessionContext creates a session whose every simulation observes
+// ctx: cancel it and in-flight figure sweeps abort mid-cycle-loop with
+// a panic carrying a sim.ErrCanceled-wrapping error.
+func NewSessionContext(ctx context.Context, rl RunLengths, r *sim.Runner) *Session {
 	if r == nil {
 		r = sim.New()
 	}
-	return &Session{RL: rl, r: r}
+	return &Session{RL: rl, ctx: ctx, r: r}
 }
 
 // Runner exposes the session's underlying runner.
@@ -63,13 +83,17 @@ func (s *Session) Runner() *sim.Runner { return s.r }
 
 // run simulates bench under cfg through the shared runner.
 func (s *Session) run(bench string, cfg core.Config) *Result {
-	return s.r.MustRun(sim.Request{Bench: bench, Config: cfg, Warmup: s.RL.Warmup, Measure: s.RL.Measure})
+	return s.r.MustRun(s.ctx, sim.Request{Bench: bench, Config: cfg, Warmup: s.RL.Warmup, Measure: s.RL.Measure})
 }
 
 // runAll simulates every benchmark under cfgFor in parallel, preserving
-// catalog order.
+// catalog order and streaming completion events to OnEvent.
 func (s *Session) runAll(cfgFor func(bench string) core.Config) []*Result {
-	return s.r.RunBenchmarks(s.RL.Warmup, s.RL.Measure, cfgFor)
+	results, err := s.r.RunBenchmarks(s.ctx, s.RL.Warmup, s.RL.Measure, cfgFor, s.OnEvent)
+	if err != nil {
+		panic(err)
+	}
+	return results
 }
 
 // scenarioSeries executes the named committed scenario (internal/
@@ -81,9 +105,9 @@ func (s *Session) runAll(cfgFor func(bench string) core.Config) []*Result {
 func (s *Session) scenarioSeries(name string) (*stats.Table, []Series) {
 	rep, err := scenario.MustBuiltin(name).
 		MustExpand(scenario.Overrides{Warmup: &s.RL.Warmup, Measure: &s.RL.Measure}).
-		Run(s.r)
+		Run(s.ctx, s.r, s.OnEvent)
 	if err != nil {
-		panic(fmt.Sprintf("experiments: %v", err))
+		panic(err)
 	}
 	return rep.Table(), rep.Series()
 }

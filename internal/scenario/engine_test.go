@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -20,7 +21,7 @@ func TestRunSmallScenario(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := m.Run(sim.New())
+	rep, err := m.Run(context.Background(), sim.New(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestSeriesReportShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := s.MustExpand(Overrides{}).Run(sim.New())
+	rep, err := s.MustExpand(Overrides{}).Run(context.Background(), sim.New(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestHundredCellGridThroughStore(t *testing.T) {
 	}
 
 	r1 := sim.New(sim.WithCacheDir(dir))
-	rep1, err := m.Run(r1)
+	rep1, err := m.Run(context.Background(), r1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestHundredCellGridThroughStore(t *testing.T) {
 	}
 
 	r2 := sim.New(sim.WithCacheDir(dir))
-	rep2, err := s.MustExpand(Overrides{}).Run(r2)
+	rep2, err := s.MustExpand(Overrides{}).Run(context.Background(), r2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

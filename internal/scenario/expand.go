@@ -67,7 +67,7 @@ type Matrix struct {
 	Measure uint64
 	Cells   []Cell
 	// Requests is the deduplicated simulation list in first-use order;
-	// running a scenario is exactly one RunAll over it.
+	// running a scenario is exactly one Stream over it.
 	Requests []sim.Request
 }
 

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/sim"
@@ -36,12 +37,17 @@ type RunReport struct {
 	spec *Spec
 }
 
-// Run executes the matrix through r — one batched RunAll over the
+// Run executes the matrix through r — one batched Stream over the
 // deduplicated request list, so the runner's worker pool, singleflight
 // dedup and on-disk store see the whole grid at once — and aggregates
-// every cell's speedup series.
-func (m *Matrix) Run(r *sim.Runner) (*RunReport, error) {
-	results, err := r.RunAll(m.Requests)
+// every cell's speedup series. sink (may be nil) receives each
+// request's completion event as workers finish, in completion order:
+// progress lines in the commands hang off it. Canceling ctx aborts the
+// in-flight simulations mid-cycle-loop and returns an error wrapping
+// sim.ErrCanceled; already-completed requests stay in the runner's
+// stores, so a fresh-context re-run resumes instead of restarting.
+func (m *Matrix) Run(ctx context.Context, r *sim.Runner, sink func(sim.Event)) (*RunReport, error) {
+	results, err := r.Stream(ctx, m.Requests, sink)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %q: %w", m.Spec.Name, err)
 	}

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestContextFirstEntryPoints is the API-regression guard behind the CI
+// docs job: every exported Run*/Stream*/MustRun* entry point in the
+// execution-API packages must take a context.Context as its first
+// parameter. The only sanctioned exceptions are the documented
+// background-context shims; anything else regaining a context-free
+// signature is exactly the fire-and-forget API this guard exists to
+// keep out.
+func TestContextFirstEntryPoints(t *testing.T) {
+	// Packages forming the execution spine: the public regshare API
+	// (repo root), the runner, the scenario engine, the experiment
+	// harness and the core's run loop.
+	dirs := []string{"../../", ".", "../scenario", "../experiments", "../core"}
+
+	// Sanctioned context-free shims, as package-qualified names. Each
+	// must be a thin wrapper over a context-first sibling.
+	allowed := map[string]bool{
+		"regshare.Run":     true, // shim over RunContext
+		"regshare.MustRun": true, // shim over Run
+		"core.Core.Run":    true, // shim over RunContext
+	}
+
+	found := 0
+	for _, dir := range dirs {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, 0)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", dir, err)
+		}
+		for pkgName, pkg := range pkgs {
+			for path, file := range pkg.Files {
+				for _, decl := range file.Decls {
+					fn, ok := decl.(*ast.FuncDecl)
+					if !ok || !fn.Name.IsExported() {
+						continue
+					}
+					name := fn.Name.Name
+					if name == "Runner" || // accessor, not an entry point
+						(!strings.HasPrefix(name, "Run") &&
+							!strings.HasPrefix(name, "Stream") &&
+							!strings.HasPrefix(name, "MustRun")) {
+						continue
+					}
+					found++
+					qual := pkgName + "." + qualify(fn)
+					if allowed[qual] {
+						continue
+					}
+					if !firstParamIsContext(fn) {
+						t.Errorf("%s: %s (%s) is a public Run entry point without a leading context.Context",
+							filepath.Clean(path), qual, fset.Position(fn.Pos()))
+					}
+				}
+			}
+		}
+	}
+	if found < 10 {
+		t.Fatalf("guard only saw %d Run/Stream entry points; the scan is broken", found)
+	}
+}
+
+// qualify names a method as Recv.Name, a function as Name.
+func qualify(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	typ := fn.Recv.List[0].Type
+	if star, ok := typ.(*ast.StarExpr); ok {
+		typ = star.X
+	}
+	if id, ok := typ.(*ast.Ident); ok {
+		return id.Name + "." + fn.Name.Name
+	}
+	return fn.Name.Name
+}
+
+// firstParamIsContext reports whether fn's first parameter is typed
+// context.Context.
+func firstParamIsContext(fn *ast.FuncDecl) bool {
+	if fn.Type.Params == nil || len(fn.Type.Params.List) == 0 {
+		return false
+	}
+	sel, ok := fn.Type.Params.List[0].Type.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "context" && sel.Sel.Name == "Context"
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -114,9 +115,11 @@ func BenchPoints(quick bool) []BenchPoint {
 
 // RunBench executes the pinned points sequentially on one goroutine (the
 // measurement is wall-clock, so the harness must not share the machine
-// with its own sibling runs) and aggregates the report. progress may be
-// nil; otherwise it is invoked after each point.
-func RunBench(points []BenchPoint, quick bool, progress func(BenchResult)) (*BenchReport, error) {
+// with its own sibling runs) and aggregates the report. Canceling ctx
+// aborts the current point mid-simulation and returns a typed
+// ErrCanceled wrap. progress may be nil; otherwise it is invoked after
+// each point.
+func RunBench(ctx context.Context, points []BenchPoint, quick bool, progress func(BenchResult)) (*BenchReport, error) {
 	rep := &BenchReport{
 		Schema:    BenchSchema,
 		GoVersion: runtime.Version(),
@@ -129,12 +132,15 @@ func RunBench(points []BenchPoint, quick bool, progress func(BenchResult)) (*Ben
 	for _, pt := range points {
 		spec, err := workloads.ByName(pt.Bench)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("sim: %w %q", ErrUnknownBenchmark, pt.Bench)
 		}
 		prog := workloads.Build(spec)
 		c := core.New(benchConfig(pt.Tracker), prog)
 		start := time.Now()
-		st := c.Run(pt.Warmup, pt.Measure)
+		st, err := c.RunContext(ctx, pt.Warmup, pt.Measure)
+		if err != nil {
+			return nil, canceledErr(pt.Bench, err)
+		}
 		wall := time.Since(start)
 		if wall <= 0 {
 			wall = time.Nanosecond

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -15,7 +16,7 @@ func TestBenchReportRoundTrip(t *testing.T) {
 		t.Skip("runs a real simulation")
 	}
 	points := []BenchPoint{{Bench: "gzip", Tracker: "isrb", Warmup: 1000, Measure: 5000}}
-	rep, err := RunBench(points, true, nil)
+	rep, err := RunBench(context.Background(), points, true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/workloads"
+)
+
+// The runner's error taxonomy. Every error the execution API returns
+// wraps exactly one of these sentinels, so callers branch with
+// errors.Is instead of matching message strings:
+//
+//   - ErrUnknownBenchmark: the request names a benchmark outside the
+//     workload catalog;
+//   - ErrBadConfig: the request's machine configuration or run lengths
+//     cannot be simulated (zero measured region, unsized windows,
+//     unknown tracker kind, ...);
+//   - ErrCanceled: the run was interrupted — the error also wraps the
+//     context's own cause, so errors.Is(err, context.Canceled) and
+//     errors.Is(err, context.DeadlineExceeded) keep working.
+var (
+	ErrUnknownBenchmark = errors.New("unknown benchmark")
+	ErrBadConfig        = errors.New("bad configuration")
+	ErrCanceled         = errors.New("run canceled")
+)
+
+// canceledErr wraps a context cancellation into the typed taxonomy,
+// keeping the context's own sentinel reachable through errors.Is.
+func canceledErr(bench string, cause error) error {
+	return fmt.Errorf("sim: %s: %w: %w", bench, ErrCanceled, cause)
+}
+
+// Validate rejects a request the runner cannot execute, with a typed
+// error. Every entry point — Run, Stream and everything layered on them
+// — applies the same contract, so regshare, the scenario engine and
+// direct callers cannot drift apart on what a runnable request is.
+func (req Request) Validate() error {
+	if req.Measure == 0 {
+		return fmt.Errorf("sim: %s: %w: measure must be positive (a zero measured region yields no statistics)",
+			req.Bench, ErrBadConfig)
+	}
+	if err := req.Config.Check(); err != nil {
+		return fmt.Errorf("sim: %s: %w: %v", req.Bench, ErrBadConfig, err)
+	}
+	if _, err := workloads.ByName(req.Bench); err != nil {
+		return fmt.Errorf("sim: %w %q (known: %v)", ErrUnknownBenchmark, req.Bench, workloads.Names())
+	}
+	return nil
+}

@@ -4,6 +4,16 @@
 // (cmd/regsim) and the public regshare API all obtain results through a
 // Runner rather than driving internal/core directly.
 //
+// The API is context-first and streaming: Run(ctx, req) executes one
+// request, Stream(ctx, reqs, sink) fans a batch out over the worker
+// pool and delivers a completion Event — request key, provenance
+// (simulated, in-memory, on-disk store), simulation speed — as each
+// request settles. Cancellation reaches into the core cycle loop
+// (core.RunContext checks the context every few thousand cycles), so a
+// deadline or SIGINT aborts a long grid mid-simulation; errors carry
+// the typed taxonomy of errors.go (ErrUnknownBenchmark, ErrBadConfig,
+// ErrCanceled).
+//
 // A Runner owns
 //
 //   - a bounded worker pool sized off runtime.GOMAXPROCS, so arbitrarily
@@ -13,22 +23,28 @@
 //     (benchmark, configuration, warmup, measure): concurrent callers
 //     asking for the same run block on one simulation instead of
 //     re-running it — e.g. every figure's speedup series shares one
-//     baseline sweep;
+//     baseline sweep. A canceled leader does not poison the slot: the
+//     failed call is dropped and surviving waiters retry it themselves;
 //   - an in-memory result store (the simulator is deterministic, so a
 //     result never goes stale) with an optional sharded on-disk store
 //     (see Store) so separate invocations — and separate concurrent
-//     processes sharing one -cachedir — reuse each other's runs.
+//     processes sharing one -cachedir — reuse each other's runs. Only
+//     completed simulations are written back, so an interrupted run
+//     never leaves partial entries.
 package sim
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/refcount"
@@ -130,6 +146,65 @@ type call struct {
 	done chan struct{}
 	res  *Result
 	err  error
+	src  Source
+	cps  float64
+}
+
+// Source is the provenance of a completed request: where its result
+// came from.
+type Source uint8
+
+// Event provenance values.
+const (
+	// SourceSimulated: this call executed the simulation.
+	SourceSimulated Source = iota
+	// SourceMemory: served by the in-memory store — a singleflight join
+	// with a concurrent caller, or a repeat of a completed request.
+	SourceMemory
+	// SourceStore: loaded from the sharded on-disk store.
+	SourceStore
+)
+
+// String names the provenance for progress lines and logs.
+func (s Source) String() string {
+	switch s {
+	case SourceSimulated:
+		return "simulated"
+	case SourceMemory:
+		return "memory"
+	case SourceStore:
+		return "store"
+	default:
+		return fmt.Sprintf("source(%d)", uint8(s))
+	}
+}
+
+// Event is one per-request completion notification from Stream: which
+// request settled (Index into the request slice, plus its deduplication
+// Key), its result or typed error, where the result came from, and —
+// for freshly simulated requests — the simulation speed.
+type Event struct {
+	// Index is the request's position in the Stream call's slice (-1
+	// for single-request Run paths).
+	Index int
+	// Key is the request's deduplication key (empty if the request
+	// failed validation before keying).
+	Key string
+	// Req echoes the request.
+	Req Request
+	// Res is the completed result (nil when Err is set).
+	Res *Result
+	// Err is the request's typed error, if any (see errors.go).
+	Err error
+	// Source is the result's provenance.
+	Source Source
+	// CyclesPerSec is the simulated-cycles-per-wall-second rate of the
+	// simulation that produced the result. In-memory joins carry the
+	// original simulation's rate; results loaded from the on-disk store
+	// report zero (the producing process is gone). Aggregate throughput
+	// should therefore only sum events with Source == SourceSimulated
+	// (as Progress does).
+	CyclesPerSec float64
 }
 
 // New builds a Runner.
@@ -205,118 +280,205 @@ func (r *Runner) Counters() Counters {
 // Run returns the result for req, simulating it at most once per Runner
 // (and at most once per cache directory when the disk cache is enabled).
 // Concurrent calls for the same request block on a single simulation.
-// The returned Result is shared: callers must not mutate it.
-func (r *Runner) Run(req Request) (*Result, error) {
-	key := Key(req)
+// Canceling ctx aborts the simulation mid-cycle-loop (and the wait, if
+// this caller joined another caller's simulation); the error then wraps
+// ErrCanceled and the context's own cause. The returned Result is
+// shared: callers must not mutate it.
+func (r *Runner) Run(ctx context.Context, req Request) (*Result, error) {
+	ev := r.do(ctx, -1, req)
+	return ev.Res, ev.Err
+}
 
-	r.mu.Lock()
-	if c, ok := r.calls[key]; ok {
+// do executes one request and packages the outcome as an Event. It is
+// the single execution path under Run and Stream: validation, then the
+// singleflight map, then fill. A caller that joins a leader which gets
+// canceled — while its own context is still live — retries the request
+// itself rather than inheriting the leader's cancellation, so one
+// aborted Stream never fails an unrelated concurrent caller.
+func (r *Runner) do(ctx context.Context, idx int, req Request) Event {
+	ev := Event{Index: idx, Req: req}
+	if err := req.Validate(); err != nil {
+		ev.Err = err
+		return ev
+	}
+	ev.Key = Key(req)
+	for {
+		r.mu.Lock()
+		c, ok := r.calls[ev.Key]
+		if !ok {
+			c = &call{done: make(chan struct{})}
+			r.calls[ev.Key] = c
+			r.mu.Unlock()
+
+			c.res, c.src, c.cps, c.err = r.fill(ctx, ev.Key, req)
+			if c.err != nil {
+				// Do not poison the slot with a failure (cancellation
+				// included): drop it — before waking the waiters, so
+				// their retries cannot rejoin the dead call — and let
+				// any later caller re-run the request.
+				r.mu.Lock()
+				delete(r.calls, ev.Key)
+				r.mu.Unlock()
+			}
+			close(c.done)
+			ev.Res, ev.Source, ev.CyclesPerSec, ev.Err = c.res, c.src, c.cps, c.err
+			return ev
+		}
+		r.mu.Unlock()
+
+		select {
+		case <-c.done:
+		case <-ctx.Done():
+			ev.Err = canceledErr(req.Bench, ctx.Err())
+			return ev
+		}
+		if c.err != nil && errors.Is(c.err, ErrCanceled) && ctx.Err() == nil {
+			continue // the leader was canceled, this caller was not: retry
+		}
+		// Count the hit only for a join that actually yields the call's
+		// outcome — a retry after a canceled leader is not served from
+		// memory, so it must not inflate the hit counters.
+		r.mu.Lock()
 		r.ctr.MemHits++
 		r.mu.Unlock()
-		<-c.done
-		return c.res, c.err
+		ev.Res, ev.Err = c.res, c.err
+		ev.Source, ev.CyclesPerSec = SourceMemory, c.cps
+		return ev
 	}
-	c := &call{done: make(chan struct{})}
-	r.calls[key] = c
-	r.mu.Unlock()
-
-	c.res, c.err = r.fill(key, req)
-	close(c.done)
-
-	if c.err != nil {
-		// Do not poison the store with failures: let a later caller retry.
-		r.mu.Lock()
-		delete(r.calls, key)
-		r.mu.Unlock()
-	}
-	return c.res, c.err
 }
 
 // fill produces the result for key: disk cache first, then a worker slot
 // and a real simulation (written back to the disk cache on the way out).
-func (r *Runner) fill(key string, req Request) (*Result, error) {
+// Cancellation is honored while queuing for a worker slot and, through
+// core.RunContext, inside the simulation itself; only a completed
+// simulation reaches the on-disk store.
+func (r *Runner) fill(ctx context.Context, key string, req Request) (*Result, Source, float64, error) {
 	if res, ok := r.loadDisk(key); ok {
 		r.mu.Lock()
 		r.ctr.DiskHits++
 		r.mu.Unlock()
-		return res, nil
+		return res, SourceStore, 0, nil
 	}
 
-	r.sem <- struct{}{}
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, 0, 0, canceledErr(req.Bench, ctx.Err())
+	}
 	defer func() { <-r.sem }()
 
-	res, err := simulate(req)
+	start := time.Now()
+	res, err := simulate(ctx, req)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
+	cps := float64(res.S.Cycles) / time.Since(start).Seconds()
 	r.mu.Lock()
 	r.ctr.Simulated++
 	r.mu.Unlock()
 	r.storeDisk(key, res)
-	return res, nil
+	return res, SourceSimulated, cps, nil
 }
 
-// MustRun is Run for harness code where a request error is a bug.
-func (r *Runner) MustRun(req Request) *Result {
-	res, err := r.Run(req)
+// MustRun is Run for harness code where a request error is a bug. It
+// panics with the typed error itself, so a recover at the top of a
+// command can still distinguish cancellation (errors.Is ErrCanceled)
+// from genuine bugs.
+func (r *Runner) MustRun(ctx context.Context, req Request) *Result {
+	res, err := r.Run(ctx, req)
 	if err != nil {
-		panic(fmt.Sprintf("sim: %v", err))
+		panic(err)
 	}
 	return res
 }
 
-// RunAll fans the requests out over the worker pool and returns results
-// in request order. The first error (if any) is returned after all
-// requests settle; successful entries are still filled in.
-func (r *Runner) RunAll(reqs []Request) ([]*Result, error) {
+// Stream fans the requests out over the worker pool and invokes sink —
+// serialized, so sinks need no locking — with a completion Event as
+// each request settles, in completion order. Results come back in
+// request order. All requests settle before Stream returns; the
+// returned error is the first non-cancellation error in request order,
+// or the first cancellation error when the whole batch was interrupted.
+// sink may be nil.
+func (r *Runner) Stream(ctx context.Context, reqs []Request, sink func(Event)) ([]*Result, error) {
 	results := make([]*Result, len(reqs))
 	errs := make([]error, len(reqs))
+	var sinkMu sync.Mutex
 	var wg sync.WaitGroup
 	for i := range reqs {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = r.Run(reqs[i])
+			ev := r.do(ctx, i, reqs[i])
+			results[i], errs[i] = ev.Res, ev.Err
+			if sink != nil {
+				sinkMu.Lock()
+				sink(ev)
+				sinkMu.Unlock()
+			}
 		}(i)
 	}
 	wg.Wait()
+	var firstCanceled error
 	for _, err := range errs {
-		if err != nil {
-			return results, err
+		if err == nil {
+			continue
 		}
+		if errors.Is(err, ErrCanceled) {
+			if firstCanceled == nil {
+				firstCanceled = err
+			}
+			continue
+		}
+		return results, err
 	}
-	return results, nil
+	return results, firstCanceled
+}
+
+// RunAll is Stream without a sink: results in request order, first
+// typed error after all requests settle.
+func (r *Runner) RunAll(ctx context.Context, reqs []Request) ([]*Result, error) {
+	return r.Stream(ctx, reqs, nil)
 }
 
 // MustRunAll is RunAll for harness code where a request error is a bug.
-func (r *Runner) MustRunAll(reqs []Request) []*Result {
-	results, err := r.RunAll(reqs)
+// Like MustRun, it panics with the typed error value itself.
+func (r *Runner) MustRunAll(ctx context.Context, reqs []Request) []*Result {
+	results, err := r.RunAll(ctx, reqs)
 	if err != nil {
-		panic(fmt.Sprintf("sim: %v", err))
+		panic(err)
 	}
 	return results
 }
 
 // RunBenchmarks runs cfgFor(bench) for every benchmark in the workload
-// catalog, preserving catalog order — the shape every figure sweep uses.
-func (r *Runner) RunBenchmarks(warmup, measure uint64, cfgFor func(bench string) core.Config) []*Result {
+// catalog, preserving catalog order — the shape every figure sweep
+// uses. It streams per-benchmark completion events to sink (may be nil)
+// and returns the first typed error instead of panicking, so a single
+// bad configuration or a cancellation surfaces as a value the caller
+// can inspect.
+func (r *Runner) RunBenchmarks(ctx context.Context, warmup, measure uint64, cfgFor func(bench string) core.Config, sink func(Event)) ([]*Result, error) {
 	names := workloads.Names()
 	reqs := make([]Request, len(names))
 	for i, n := range names {
 		reqs[i] = Request{Bench: n, Config: cfgFor(n), Warmup: warmup, Measure: measure}
 	}
-	return r.MustRunAll(reqs)
+	return r.Stream(ctx, reqs, sink)
 }
 
-// simulate executes one run on a fresh core.
-func simulate(req Request) (*Result, error) {
+// simulate executes one run on a fresh core. The request has already
+// passed Validate, so lookup and construction cannot fail; the context
+// is the one way out early, surfacing as a typed ErrCanceled wrap.
+func simulate(ctx context.Context, req Request) (*Result, error) {
 	spec, err := workloads.ByName(req.Bench)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("sim: %w %q", ErrUnknownBenchmark, req.Bench)
 	}
 	prog := workloads.Build(spec)
 	c := core.New(req.Config, prog)
-	st := c.Run(req.Warmup, req.Measure)
+	st, err := c.RunContext(ctx, req.Warmup, req.Measure)
+	if err != nil {
+		return nil, canceledErr(req.Bench, err)
+	}
 	return Snapshot(req.Bench, prog.NumInsts(), c, st), nil
 }
 

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,6 +10,10 @@ import (
 
 	"repro/internal/core"
 )
+
+// bg is the test suite's background context for runs that exercise
+// behaviors other than cancellation.
+var bg = context.Background()
 
 func quickReq(bench string) Request {
 	return Request{Bench: bench, Config: core.DefaultConfig(), Warmup: 1_000, Measure: 8_000}
@@ -25,7 +30,7 @@ func TestDedupConcurrent(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = r.MustRun(quickReq("crafty"))
+			results[i] = r.MustRun(bg, quickReq("crafty"))
 		}(i)
 	}
 	wg.Wait()
@@ -44,11 +49,11 @@ func TestDedupConcurrent(t *testing.T) {
 // cover benchmark, configuration and run lengths.
 func TestCacheHitMiss(t *testing.T) {
 	r := New()
-	a := r.MustRun(quickReq("crafty"))
+	a := r.MustRun(bg, quickReq("crafty"))
 	if c := r.Counters(); c.Simulated != 1 || c.MemHits != 0 {
 		t.Fatalf("first run: %+v", c)
 	}
-	if b := r.MustRun(quickReq("crafty")); b != a {
+	if b := r.MustRun(bg, quickReq("crafty")); b != a {
 		t.Fatal("repeat request did not hit the in-memory store")
 	}
 	if c := r.Counters(); c.Simulated != 1 || c.MemHits != 1 {
@@ -56,13 +61,13 @@ func TestCacheHitMiss(t *testing.T) {
 	}
 
 	// Different benchmark, different config, different lengths: all miss.
-	r.MustRun(quickReq("gcc"))
+	r.MustRun(bg, quickReq("gcc"))
 	me := quickReq("crafty")
 	me.Config.ME.Enabled = true
-	r.MustRun(me)
+	r.MustRun(bg, me)
 	long := quickReq("crafty")
 	long.Measure += 1
-	r.MustRun(long)
+	r.MustRun(bg, long)
 	if c := r.Counters(); c.Simulated != 4 {
 		t.Fatalf("distinct requests deduplicated wrongly: %+v", c)
 	}
@@ -90,14 +95,14 @@ func TestKeyDistinguishesRequests(t *testing.T) {
 func TestDiskRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	r1 := New(WithCacheDir(dir))
-	want := r1.MustRun(quickReq("crafty"))
+	want := r1.MustRun(bg, quickReq("crafty"))
 	files, err := filepath.Glob(filepath.Join(dir, "*", "*.json"))
 	if err != nil || len(files) != 1 {
 		t.Fatalf("cache dir files = %v, err = %v", files, err)
 	}
 
 	r2 := New(WithCacheDir(dir))
-	got := r2.MustRun(quickReq("crafty"))
+	got := r2.MustRun(bg, quickReq("crafty"))
 	if c := r2.Counters(); c.Simulated != 0 || c.DiskHits != 1 {
 		t.Fatalf("second runner did not load from disk: %+v", c)
 	}
@@ -111,13 +116,13 @@ func TestDiskRoundTrip(t *testing.T) {
 func TestDiskCacheIgnoresCorruptFile(t *testing.T) {
 	dir := t.TempDir()
 	r1 := New(WithCacheDir(dir))
-	r1.MustRun(quickReq("crafty"))
+	r1.MustRun(bg, quickReq("crafty"))
 	files, _ := filepath.Glob(filepath.Join(dir, "*", "*.json"))
 	if err := os.WriteFile(files[0], []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	r2 := New(WithCacheDir(dir))
-	r2.MustRun(quickReq("crafty"))
+	r2.MustRun(bg, quickReq("crafty"))
 	if c := r2.Counters(); c.Simulated != 1 || c.DiskHits != 0 {
 		t.Fatalf("corrupt cache entry not re-simulated: %+v", c)
 	}
@@ -130,8 +135,8 @@ func TestDeterminism(t *testing.T) {
 	req := quickReq("gobmk")
 	req.Config.ME.Enabled = true
 	req.Config.SMB.Enabled = true
-	a := New().MustRun(req)
-	b := New().MustRun(req)
+	a := New().MustRun(bg, req)
+	b := New().MustRun(bg, req)
 	if a.S != b.S || a.Tracker != b.Tracker || a.Mem != b.Mem || a.IPC != b.IPC {
 		t.Fatalf("repeated runs differ:\n a %+v\n b %+v", a, b)
 	}
@@ -142,20 +147,20 @@ func TestDeterminism(t *testing.T) {
 func TestRunAllOrderAndErrors(t *testing.T) {
 	r := New()
 	reqs := []Request{quickReq("crafty"), quickReq("gcc"), quickReq("gobmk")}
-	results := r.MustRunAll(reqs)
+	results := r.MustRunAll(bg, reqs)
 	for i, res := range results {
 		if res.Bench != reqs[i].Bench {
 			t.Fatalf("result %d is %s, want %s", i, res.Bench, reqs[i].Bench)
 		}
 	}
 
-	if _, err := r.Run(quickReq("no-such-benchmark")); err == nil {
+	if _, err := r.Run(bg, quickReq("no-such-benchmark")); err == nil {
 		t.Fatal("unknown benchmark accepted")
 	}
-	if _, err := r.Run(quickReq("no-such-benchmark")); err == nil {
+	if _, err := r.Run(bg, quickReq("no-such-benchmark")); err == nil {
 		t.Fatal("unknown benchmark accepted on retry")
 	}
-	if _, err := r.RunAll([]Request{quickReq("crafty"), quickReq("nope")}); err == nil ||
+	if _, err := r.RunAll(bg, []Request{quickReq("crafty"), quickReq("nope")}); err == nil ||
 		!strings.Contains(err.Error(), "nope") {
 		t.Fatalf("RunAll error = %v, want unknown-benchmark error naming nope", err)
 	}
@@ -166,7 +171,7 @@ func TestRunAllOrderAndErrors(t *testing.T) {
 func TestWorkerBound(t *testing.T) {
 	r := New(WithWorkers(1))
 	reqs := []Request{quickReq("crafty"), quickReq("gcc"), quickReq("gobmk"), quickReq("hmmer")}
-	results := r.MustRunAll(reqs)
+	results := r.MustRunAll(bg, reqs)
 	if len(results) != len(reqs) {
 		t.Fatalf("got %d results", len(results))
 	}

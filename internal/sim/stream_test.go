@@ -1,0 +1,305 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// streamReqs builds n distinct quick requests (ISRB entry count varies)
+// over one benchmark.
+func streamReqs(n int) []Request {
+	reqs := make([]Request, n)
+	for i := range reqs {
+		req := quickReq("crafty")
+		req.Config.ME.Enabled = true
+		req.Config.Tracker = core.TrackerConfig{Kind: core.TrackerISRB, Entries: i + 1, CounterBits: 3}
+		reqs[i] = req
+	}
+	return reqs
+}
+
+// TestStreamEventsAndProvenance: every request yields exactly one event;
+// fresh simulations are tagged SourceSimulated with a positive
+// cycles/sec, repeats SourceMemory, and a new runner on the same store
+// dir SourceStore.
+func TestStreamEventsAndProvenance(t *testing.T) {
+	dir := t.TempDir()
+	r := New(WithCacheDir(dir))
+	reqs := streamReqs(4)
+
+	var events []Event
+	results, err := r.Stream(bg, reqs, func(ev Event) { events = append(events, ev) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(reqs) {
+		t.Fatalf("got %d events for %d requests", len(events), len(reqs))
+	}
+	seen := make(map[int]bool)
+	for _, ev := range events {
+		if ev.Err != nil {
+			t.Fatalf("event %d carries error %v", ev.Index, ev.Err)
+		}
+		if seen[ev.Index] {
+			t.Fatalf("request %d completed twice", ev.Index)
+		}
+		seen[ev.Index] = true
+		if ev.Source != SourceSimulated {
+			t.Fatalf("fresh request %d has provenance %v", ev.Index, ev.Source)
+		}
+		if ev.CyclesPerSec <= 0 {
+			t.Fatalf("fresh request %d has cycles/sec %v", ev.Index, ev.CyclesPerSec)
+		}
+		if ev.Key != Key(ev.Req) {
+			t.Fatalf("event key %q does not match its request", ev.Key)
+		}
+		if ev.Res != results[ev.Index] {
+			t.Fatalf("event %d result differs from the returned slice", ev.Index)
+		}
+	}
+
+	// Same runner again: in-memory provenance.
+	_, err = r.Stream(bg, reqs, func(ev Event) {
+		if ev.Source != SourceMemory {
+			t.Errorf("repeat request %d has provenance %v, want memory", ev.Index, ev.Source)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh runner, same store dir: on-disk provenance.
+	r2 := New(WithCacheDir(dir))
+	_, err = r2.Stream(bg, reqs, func(ev Event) {
+		if ev.Source != SourceStore {
+			t.Errorf("stored request %d has provenance %v, want store", ev.Index, ev.Source)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestValidationTaxonomy: the same typed contract holds at the single
+// entry point for every class of bad request.
+func TestValidationTaxonomy(t *testing.T) {
+	r := New()
+
+	zero := quickReq("crafty")
+	zero.Measure = 0
+	if _, err := r.Run(bg, zero); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("zero measure: err = %v, want ErrBadConfig", err)
+	}
+
+	unsized := quickReq("crafty")
+	unsized.Config.ROBSize = 0
+	if _, err := r.Run(bg, unsized); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("zero ROB: err = %v, want ErrBadConfig", err)
+	}
+
+	badTracker := quickReq("crafty")
+	badTracker.Config.Tracker.Kind = "no-such-scheme"
+	if _, err := r.Run(bg, badTracker); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("unknown tracker: err = %v, want ErrBadConfig", err)
+	}
+
+	if _, err := r.Run(bg, quickReq("no-such-benchmark")); !errors.Is(err, ErrUnknownBenchmark) {
+		t.Fatalf("unknown benchmark: err = %v, want ErrUnknownBenchmark", err)
+	}
+
+	// Nothing above should have simulated or poisoned anything.
+	if c := r.Counters(); c.Simulated != 0 {
+		t.Fatalf("invalid requests simulated: %+v", c)
+	}
+	if _, err := r.Run(bg, quickReq("crafty")); err != nil {
+		t.Fatalf("valid request after invalid ones: %v", err)
+	}
+}
+
+// TestRunBenchmarksReturnsTypedError: a bad configuration for one
+// benchmark surfaces as a typed error value, not a panic, and the
+// remaining benchmarks still settle.
+func TestRunBenchmarksReturnsTypedError(t *testing.T) {
+	r := New()
+	results, err := r.RunBenchmarks(bg, 200, 2_000, func(bench string) core.Config {
+		cfg := core.DefaultConfig()
+		if bench == "gcc" {
+			cfg.ROBSize = 0 // invalid for exactly one benchmark
+		}
+		return cfg
+	}, nil)
+	if !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("err = %v, want ErrBadConfig", err)
+	}
+	ok := 0
+	for _, res := range results {
+		if res != nil {
+			ok++
+		}
+	}
+	if ok != len(results)-1 {
+		t.Fatalf("%d of %d benchmarks settled with results, want all but one", ok, len(results))
+	}
+}
+
+// TestCanceledBeforeStart: an already-canceled context fails every
+// request with the full cancellation taxonomy without simulating.
+func TestCanceledBeforeStart(t *testing.T) {
+	r := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := r.Run(ctx, quickReq("crafty"))
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+	if _, err := r.Stream(ctx, streamReqs(3), nil); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("stream err = %v, want ErrCanceled", err)
+	}
+	if c := r.Counters(); c.Simulated != 0 {
+		t.Fatalf("canceled context still simulated: %+v", c)
+	}
+}
+
+// TestDeadlineExceededTaxonomy: a deadline surfaces through the same
+// sentinel, still matching context.DeadlineExceeded.
+func TestDeadlineExceededTaxonomy(t *testing.T) {
+	r := New()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	req := quickReq("crafty")
+	req.Measure = 5_000_000 // far longer than the deadline allows
+	_, err := r.Run(ctx, req)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping context.DeadlineExceeded", err)
+	}
+}
+
+// TestCancelMidSimulationDoesNotPoisonStores: cancel while the cycle
+// loop is running; the in-memory slot and the on-disk store must stay
+// clean, and a fresh-context re-run must simulate and match an
+// uninterrupted control run bit for bit.
+func TestCancelMidSimulationDoesNotPoisonStores(t *testing.T) {
+	dir := t.TempDir()
+	r := New(WithCacheDir(dir))
+	req := quickReq("crafty")
+	req.Measure = 5_000_000 // long enough that the cancel lands mid-loop
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Run(ctx, req)
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	start := time.Now()
+	cancel()
+	err := <-done
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled (did the run finish before the cancel?)", err)
+	}
+	// "Stops within one progress interval": the abort must be prompt,
+	// not deferred to the end of the measured region.
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("cancellation took %v", waited)
+	}
+	if files, _ := filepath.Glob(filepath.Join(dir, "*", "*.json")); len(files) != 0 {
+		t.Fatalf("canceled run left %d partial store entries: %v", len(files), files)
+	}
+
+	// The request is re-runnable on the same runner with a live context
+	// and is bit-identical to an uninterrupted control run.
+	short := req
+	short.Measure = 8_000
+	got, err := r.Run(bg, short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := New().Run(bg, short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *want {
+		t.Fatalf("post-cancel re-run differs from control:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestCanceledLeaderDoesNotFailLiveJoiner: caller A (canceled mid-run)
+// is the singleflight leader; caller B joined with a live context and
+// must get a real result — by retrying the simulation itself — not A's
+// cancellation.
+func TestCanceledLeaderDoesNotFailLiveJoiner(t *testing.T) {
+	r := New()
+	req := quickReq("crafty")
+	req.Measure = 500_000
+
+	ctxA, cancelA := context.WithCancel(context.Background())
+	errA := make(chan error, 1)
+	go func() {
+		_, err := r.Run(ctxA, req)
+		errA <- err
+	}()
+	// Let A become the leader, then join with B and cancel A.
+	time.Sleep(20 * time.Millisecond)
+	resB := make(chan error, 1)
+	go func() {
+		_, err := r.Run(context.Background(), req)
+		resB <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancelA()
+
+	if err := <-errA; !errors.Is(err, ErrCanceled) {
+		// A may legitimately have finished first on a fast machine; in
+		// that case B trivially succeeds and the test still holds.
+		if err != nil {
+			t.Fatalf("caller A: %v", err)
+		}
+	}
+	if err := <-resB; err != nil {
+		t.Fatalf("caller B inherited the leader's fate: %v", err)
+	}
+}
+
+// TestConcurrentStreamsDedup: two Stream calls racing over the same
+// request list must still simulate each distinct request exactly once
+// (this is the -race singleflight check).
+func TestConcurrentStreamsDedup(t *testing.T) {
+	r := New()
+	reqs := streamReqs(6)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	events := 0
+	for caller := 0; caller < 4; caller++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results, err := r.Stream(bg, reqs, func(Event) {
+				mu.Lock()
+				events++
+				mu.Unlock()
+			})
+			if err != nil {
+				t.Errorf("stream: %v", err)
+				return
+			}
+			for i, res := range results {
+				if res == nil || res.Bench != reqs[i].Bench {
+					t.Errorf("result %d malformed", i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c := r.Counters(); c.Simulated != uint64(len(reqs)) {
+		t.Fatalf("simulated %d, want %d (singleflight broke under concurrency)", c.Simulated, len(reqs))
+	}
+	if events != 4*len(reqs) {
+		t.Fatalf("delivered %d events, want %d", events, 4*len(reqs))
+	}
+}

@@ -10,17 +10,23 @@
 // Quick start:
 //
 //	cfg := regshare.Combined(24) // ME + SMB over a 24-entry ISRB
-//	res, err := regshare.Run(regshare.RunSpec{
+//	res, err := regshare.RunContext(ctx, regshare.RunSpec{
 //		Benchmark: "crafty",
 //		Config:    cfg,
 //		Warmup:    50_000,
 //		Measure:   200_000,
 //	})
 //	fmt.Println(res.Stats.IPC())
+//
+// The API is context-first: RunContext aborts mid-simulation when ctx
+// is canceled, StreamSpecs fans a batch out and delivers per-spec
+// completion events as workers finish, and errors wrap the typed
+// taxonomy (ErrUnknownBenchmark, ErrBadConfig, ErrCanceled). Run is a
+// convenience shim over RunContext with a background context.
 package regshare
 
 import (
-	"fmt"
+	"context"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -115,12 +121,49 @@ func WithLazyReclaim(cfg Config) Config {
 	return cfg
 }
 
+// The typed error taxonomy of the execution API (see internal/sim):
+// every error Run/RunContext/StreamSpecs returns wraps exactly one of
+// these sentinels, testable with errors.Is. Cancellation errors also
+// wrap the context's own cause (context.Canceled or
+// context.DeadlineExceeded).
+var (
+	// ErrUnknownBenchmark: the spec names a benchmark outside the catalog.
+	ErrUnknownBenchmark = sim.ErrUnknownBenchmark
+	// ErrBadConfig: the machine configuration or run lengths cannot be
+	// simulated.
+	ErrBadConfig = sim.ErrBadConfig
+	// ErrCanceled: the run was interrupted by its context.
+	ErrCanceled = sim.ErrCanceled
+)
+
+// Event is one per-spec completion notification from StreamSpecs (see
+// sim.Event): the spec's index, its result or typed error, provenance
+// and simulation speed.
+type Event = sim.Event
+
 // RunSpec names one simulation.
 type RunSpec struct {
 	Benchmark string
 	Config    Config
 	Warmup    uint64
 	Measure   uint64
+}
+
+// request normalizes the spec (default run lengths) into the shared
+// runner's request form.
+func (spec RunSpec) request() sim.Request {
+	if spec.Warmup == 0 {
+		spec.Warmup = DefaultWarmup
+	}
+	if spec.Measure == 0 {
+		spec.Measure = DefaultMeasure
+	}
+	return sim.Request{
+		Bench:   spec.Benchmark,
+		Config:  spec.Config,
+		Warmup:  spec.Warmup,
+		Measure: spec.Measure,
+	}
 }
 
 // Result is the outcome of one simulation.
@@ -137,37 +180,63 @@ type Result struct {
 // same RunSpec — e.g. benchmark iterations — simulate once.
 var runner = sim.New()
 
-// Run simulates the named benchmark through the shared process-wide
-// runner. Results are memoized for the process lifetime (the simulator
-// is deterministic, so they never go stale); sweeps over very many
-// distinct RunSpecs accumulate one cached Result each. The returned
-// Detail record is shared with the cache and must not be mutated; Stats
-// is the caller's own copy.
-func Run(spec RunSpec) (*Result, error) {
-	if spec.Warmup == 0 {
-		spec.Warmup = DefaultWarmup
-	}
-	if spec.Measure == 0 {
-		spec.Measure = DefaultMeasure
-	}
-	r, err := runner.Run(sim.Request{
-		Bench:   spec.Benchmark,
-		Config:  spec.Config,
-		Warmup:  spec.Warmup,
-		Measure: spec.Measure,
-	})
+// RunContext simulates the named benchmark through the shared
+// process-wide runner. Results are memoized for the process lifetime
+// (the simulator is deterministic, so they never go stale); sweeps over
+// very many distinct RunSpecs accumulate one cached Result each.
+// Canceling ctx aborts the simulation mid-cycle-loop; the error then
+// wraps ErrCanceled and the context's cause, and nothing partial is
+// cached. The returned Detail record is shared with the cache and must
+// not be mutated; Stats is the caller's own copy.
+func RunContext(ctx context.Context, spec RunSpec) (*Result, error) {
+	r, err := runner.Run(ctx, spec.request())
 	if err != nil {
 		return nil, err
 	}
-	st := r.S // copy: the cached record is shared
-	return &Result{Benchmark: spec.Benchmark, Stats: &st, Detail: r}, nil
+	return wrapResult(spec.Benchmark, r), nil
 }
 
-// MustRun is Run for harness code where a config error is a bug.
+// Run is RunContext with a background context — the non-cancelable
+// convenience shim for short interactive runs.
+func Run(spec RunSpec) (*Result, error) {
+	return RunContext(context.Background(), spec)
+}
+
+// StreamSpecs fans the specs out over the shared runner's worker pool
+// and invokes sink (may be nil; calls are serialized) with a completion
+// event as each spec settles — Event.Index is the spec's position in
+// specs. Results come back in spec order, nil where a spec failed; the
+// returned error is the first typed error after all specs settle.
+// Identical specs — and specs another concurrent caller is already
+// running — are deduplicated through the runner's singleflight.
+func StreamSpecs(ctx context.Context, specs []RunSpec, sink func(Event)) ([]*Result, error) {
+	reqs := make([]sim.Request, len(specs))
+	for i, spec := range specs {
+		reqs[i] = spec.request()
+	}
+	raw, err := runner.Stream(ctx, reqs, sink)
+	results := make([]*Result, len(specs))
+	for i, r := range raw {
+		if r != nil {
+			results[i] = wrapResult(specs[i].Benchmark, r)
+		}
+	}
+	return results, err
+}
+
+// wrapResult packages a shared runner record into the public Result
+// form (Stats is the caller's own copy).
+func wrapResult(bench string, r *sim.Result) *Result {
+	st := r.S // copy: the cached record is shared
+	return &Result{Benchmark: bench, Stats: &st, Detail: r}
+}
+
+// MustRun is Run for harness code where a config error is a bug. It
+// panics with the typed error value.
 func MustRun(spec RunSpec) *Result {
 	r, err := Run(spec)
 	if err != nil {
-		panic(fmt.Sprintf("regshare: %v", err))
+		panic(err)
 	}
 	return r
 }

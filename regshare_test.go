@@ -1,6 +1,10 @@
 package regshare
 
-import "testing"
+import (
+	"context"
+	"errors"
+	"testing"
+)
 
 func TestQuickstartAPI(t *testing.T) {
 	r, err := Run(RunSpec{Benchmark: "crafty", Config: Baseline(), Warmup: 2000, Measure: 15000})
@@ -10,11 +14,52 @@ func TestQuickstartAPI(t *testing.T) {
 	if r.Stats.Committed < 15000 || r.Stats.IPC() <= 0 {
 		t.Fatalf("bad result: committed=%d ipc=%v", r.Stats.Committed, r.Stats.IPC())
 	}
+	// Run is a shim over RunContext: the same spec through the explicit
+	// entry point is the same memoized record.
+	r2, err := RunContext(context.Background(), RunSpec{Benchmark: "crafty", Config: Baseline(), Warmup: 2000, Measure: 15000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Detail != r.Detail {
+		t.Fatal("RunContext did not share the shim's memoized record")
+	}
 }
 
 func TestRunUnknownBenchmark(t *testing.T) {
-	if _, err := Run(RunSpec{Benchmark: "nope", Config: Baseline()}); err == nil {
-		t.Fatal("unknown benchmark accepted")
+	_, err := Run(RunSpec{Benchmark: "nope", Config: Baseline()})
+	if !errors.Is(err, ErrUnknownBenchmark) {
+		t.Fatalf("err = %v, want ErrUnknownBenchmark", err)
+	}
+}
+
+func TestRunContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, RunSpec{Benchmark: "gzip", Config: Baseline(), Warmup: 100, Measure: 5000})
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+}
+
+func TestStreamSpecs(t *testing.T) {
+	specs := []RunSpec{
+		{Benchmark: "crafty", Config: Baseline(), Warmup: 500, Measure: 6000},
+		{Benchmark: "crafty", Config: WithME(16), Warmup: 500, Measure: 6000},
+		{Benchmark: "nope", Config: Baseline(), Warmup: 500, Measure: 6000},
+	}
+	events := 0
+	results, err := StreamSpecs(context.Background(), specs, func(ev Event) { events++ })
+	if !errors.Is(err, ErrUnknownBenchmark) {
+		t.Fatalf("err = %v, want ErrUnknownBenchmark for the bad spec", err)
+	}
+	if events != len(specs) {
+		t.Fatalf("got %d events, want %d", events, len(specs))
+	}
+	if results[0] == nil || results[1] == nil || results[2] != nil {
+		t.Fatalf("results = %v: good specs must settle, the bad one must be nil", results)
+	}
+	if results[0].Stats.IPC() <= 0 || results[1].Benchmark != "crafty" {
+		t.Fatal("streamed results malformed")
 	}
 }
 
