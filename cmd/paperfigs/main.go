@@ -16,6 +16,7 @@
 //	paperfigs -scenario my.scenario      # or a spec file
 //	paperfigs -measure 300000 # longer runs
 //	paperfigs -cachedir .simcache  # reuse simulations across invocations
+//	paperfigs -backend pool:8      # crash-isolated worker subprocesses
 package main
 
 import (
@@ -26,26 +27,36 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/dispatch"
 	"repro/internal/experiments"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
 func main() {
+	dispatch.MaybeWorker()
 	var (
 		exp      = flag.String("exp", "all", "experiment: table1|fig4|fig5a|fig5b|fig6a|fig6b|fig6c|fig7|ddt|storeonly|cwidth|ports|rob512|singlebit|disthist|trackers|storage|all")
 		scen     = flag.String("scenario", "", "run one scenario instead: a builtin name or a .scenario file path")
 		warmup   = flag.Uint64("warmup", experiments.DefaultRunLengths.Warmup, "warmup instructions per run")
 		measure  = flag.Uint64("measure", experiments.DefaultRunLengths.Measure, "measured instructions per run")
 		cachedir = flag.String("cachedir", "", "directory for the on-disk result cache (empty: off)")
+		backend  = flag.String("backend", "local", "execution backend: local | pool:N | http://addr")
 	)
 	flag.Parse()
+
+	be, err := dispatch.New(*backend)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer be.Close()
 
 	// ^C cancels the context; the session's figure methods then panic
 	// with a sim.ErrCanceled-wrapping error, which the deferred recover
 	// turns into a clean exit (completed simulations stay in -cachedir).
 	ctx := sim.SignalContext()
-	runner := sim.New(sim.WithCacheDir(*cachedir))
+	runner := sim.New(append(dispatch.Options(be), sim.WithCacheDir(*cachedir))...)
 	progress := sim.NewProgress(os.Stderr, runner, 0)
 	defer func() {
 		if v := recover(); v != nil {

@@ -1,0 +1,121 @@
+// Command regshared serves simulation results over HTTP: the
+// result service behind the `-backend http://addr` flag of cmd/sweep,
+// cmd/bench and cmd/paperfigs, and a plain JSON API for everything
+// else.
+//
+// Endpoints:
+//
+//	POST /v1/run            one sim.Request in, one sim.Result out
+//	POST /v1/stream         {"requests":[...]} in, an NDJSON stream of
+//	                        completion events out (mirrors sim.Stream)
+//	GET  /v1/results/{key}  a completed result straight from the sharded
+//	                        on-disk store, addressed by sim.Key
+//
+// All requests flow through one shared sim.Runner, so concurrent
+// clients asking for the same cell share a single simulation, and
+// -cachedir persists every completed result in the store /v1/results
+// serves from. The execution backend is itself pluggable: `-backend
+// pool:N` farms the simulations out to N crash-isolated worker
+// subprocesses instead of running them in the server process.
+//
+// Usage:
+//
+//	regshared -addr :8347 -cachedir /var/lib/regshared
+//	regshared -addr :8347 -backend pool:8
+//	regshared -simver          # print the store envelope version and exit
+//
+// SIGINT/SIGTERM shut the server down gracefully: in-flight requests
+// get 10 seconds to finish (their runner contexts are canceled by the
+// forced close after that), and only completed simulations ever reach
+// the store.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/sim"
+)
+
+func main() {
+	dispatch.MaybeWorker()
+	var (
+		addr     = flag.String("addr", ":8347", "listen address")
+		cachedir = flag.String("cachedir", "", "directory for the sharded on-disk result store (empty: off; /v1/results then always misses)")
+		backend  = flag.String("backend", "local", "execution backend: local | pool:N")
+		workers  = flag.Int("workers", 0, "cap the runner's concurrent simulations (0: GOMAXPROCS, or the pool size)")
+		simver   = flag.Bool("simver", false, "print the simulator version tag (the store envelope simver) and exit")
+	)
+	flag.Parse()
+
+	if *simver {
+		fmt.Println(sim.Version())
+		return
+	}
+
+	be, err := dispatch.New(*backend)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if _, ok := be.(*dispatch.HTTP); ok {
+		// A service proxying to a service invites request loops — most
+		// treacherously to itself, where every /v1/run would re-enter
+		// /v1/run until sockets run out. Chain by pointing clients at
+		// the upstream service instead.
+		fmt.Fprintln(os.Stderr, "regshared: an http backend is not allowed here (known: local | pool:N)")
+		os.Exit(1)
+	}
+	defer be.Close()
+
+	opts := dispatch.Options(be)
+	var store *sim.Store
+	if *cachedir != "" {
+		store = sim.NewStore(*cachedir)
+		opts = append(opts, sim.WithStore(store))
+	}
+	if *workers > 0 {
+		opts = append(opts, sim.WithWorkers(*workers))
+	}
+	runner := sim.New(opts...)
+
+	srv := &http.Server{Addr: *addr, Handler: dispatch.NewService(runner, store).Handler()}
+
+	// ^C / SIGTERM: stop accepting, give in-flight requests 10s, then
+	// force-close (which cancels their request contexts mid-cycle-loop;
+	// the store only ever holds completed results, so this is safe).
+	ctx := sim.SignalContext()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		log.Print("regshared: shutting down")
+		shctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shctx); err != nil {
+			srv.Close()
+		}
+	}()
+
+	log.Printf("regshared: serving on %s (backend %s, store %s)", *addr, *backend, storeDesc(*cachedir))
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	<-done
+}
+
+// storeDesc names the store configuration for the startup log line.
+func storeDesc(dir string) string {
+	if dir == "" {
+		return "off"
+	}
+	return dir
+}

@@ -4,9 +4,16 @@
 // -trace drives the core directly because tracing needs the live
 // pipeline.
 //
+// -json emits the run's full sim.Result as one JSON object on stdout —
+// the same value a dispatch pool worker or the regshared service would
+// return for the request — which makes regsim scriptable as a worker
+// smoke-check: run it on a prospective worker machine and diff the
+// object against a known-good host.
+//
 // Usage:
 //
 //	regsim -bench crafty -me -smb -tracker isrb -entries 24 -measure 200000
+//	regsim -bench crafty -json | jq .IPC
 package main
 
 import (
@@ -40,7 +47,7 @@ func main() {
 		measure   = flag.Uint64("measure", 200_000, "measured instructions")
 		verbose   = flag.Bool("v", false, "print extended statistics")
 		trace     = flag.Uint64("trace", 0, "print a pipeline trace for the first N cycles of measurement")
-		jsonOut   = flag.Bool("json", false, "emit statistics as JSON")
+		jsonOut   = flag.Bool("json", false, "emit the run's full sim.Result as one JSON object")
 		cachedir  = flag.String("cachedir", "", "directory for the on-disk result cache (empty: off)")
 	)
 	flag.Parse()
@@ -102,7 +109,7 @@ func main() {
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(st); err != nil {
+		if err := enc.Encode(res); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

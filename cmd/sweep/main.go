@@ -24,6 +24,8 @@
 //	sweep -spec my.scenario -json     # a spec file, machine-readable report
 //	sweep -list                       # list the committed scenarios
 //	sweep -cachedir .simcache         # persist results between runs
+//	sweep -backend pool:8             # crash-isolated worker subprocesses
+//	sweep -backend http://host:8347   # farm out to a regshared service
 package main
 
 import (
@@ -33,6 +35,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/dispatch"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 )
@@ -47,6 +50,7 @@ func exitCanceled(err error) {
 }
 
 func main() {
+	dispatch.MaybeWorker()
 	var (
 		kind     = flag.String("kind", "", "paper sweep kind: isrb|rob|stlf (shorthand for -scenario sweep-<kind>)")
 		name     = flag.String("scenario", "", "builtin scenario name (see -list)")
@@ -56,7 +60,9 @@ func main() {
 		warmup   = flag.Uint64("warmup", 0, "override the spec's warmup µops (explicit 0 = no warmup)")
 		measure  = flag.Uint64("measure", 0, "override the spec's measured µops")
 		cachedir = flag.String("cachedir", "", "directory for the sharded on-disk result store (empty: off)")
+		backend  = flag.String("backend", "local", "execution backend: local | pool:N | http://addr")
 		jsonOut  = flag.Bool("json", false, "emit the machine-readable report instead of the table")
+		simver   = flag.Bool("simver", false, "print the simulator version tag (the store envelope simver, CI's store cache key) and exit")
 		verbose  = flag.Bool("v", false, "report runner counters on stderr")
 	)
 	flag.Parse()
@@ -64,6 +70,11 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *simver {
+		fmt.Println(sim.Version())
+		return
 	}
 
 	if *list {
@@ -117,7 +128,12 @@ func main() {
 	// mid-cycle-loop; completed cells are already in the store (if
 	// -cachedir is set), so a re-run resumes where this one stopped.
 	ctx := sim.SignalContext()
-	runner := sim.New(sim.WithCacheDir(*cachedir))
+	be, err := dispatch.New(*backend)
+	if err != nil {
+		fail(err)
+	}
+	defer be.Close()
+	runner := sim.New(append(dispatch.Options(be), sim.WithCacheDir(*cachedir))...)
 	progress := sim.NewProgress(os.Stderr, runner, len(matrix.Requests))
 	rep, err := matrix.Run(ctx, runner, progress.Observe)
 	progress.Finish()

@@ -1,0 +1,24 @@
+package dispatch
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// TestMain diverts the test binary into the worker frame loop when a
+// Pool under test re-executes it (see MaybeWorker); otherwise the tests
+// run normally.
+func TestMain(m *testing.M) {
+	MaybeWorker()
+	os.Exit(m.Run())
+}
+
+// smallReq is a fast, valid request for round-trip tests.
+func smallReq(bench string, measure uint64) sim.Request {
+	cfg := core.DefaultConfig()
+	cfg.ME.Enabled = true
+	return sim.Request{Bench: bench, Config: cfg, Warmup: 200, Measure: measure}
+}

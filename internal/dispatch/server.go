@@ -1,0 +1,172 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+
+	"repro/internal/sim"
+)
+
+// Service is the server side of the HTTP backend: the regshared
+// result service. It exposes one sim.Runner — with whatever executor
+// and stores the operator configured — over three endpoints:
+//
+//	POST /v1/run           one sim.Request in, one sim.Result out
+//	POST /v1/stream        {"requests":[...]} in, NDJSON completion
+//	                       events out, mirroring sim.Stream
+//	GET  /v1/results/{key} a completed result straight from the sharded
+//	                       on-disk store, by sim.Key
+//
+// Requests execute (and deduplicate, and cache) exactly as they would
+// in-process, so a result served over the wire is bit-identical to a
+// local run of the same request.
+type Service struct {
+	runner *sim.Runner
+	store  *sim.Store
+}
+
+// NewService wraps runner. store may be nil: /v1/results then answers
+// 404 for every key. When the runner was built with the same store
+// (sim.WithStore), every /v1/run result becomes fetchable by key.
+func NewService(runner *sim.Runner, store *sim.Store) *Service {
+	return &Service{runner: runner, store: store}
+}
+
+// Handler returns the service's routing handler. Every response carries
+// the service's simulator identity, so clients can refuse to mix
+// results from a version-skewed server (see simverHeader).
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(simverHeader, sim.Version())
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// wireEvent is the NDJSON form of one sim.Event on /v1/stream.
+type wireEvent struct {
+	Index        int         `json:"index"`
+	Key          string      `json:"key,omitempty"`
+	Bench        string      `json:"bench"`
+	Source       string      `json:"source,omitempty"`
+	CyclesPerSec float64     `json:"cycles_per_sec,omitempty"`
+	Result       *sim.Result `json:"result,omitempty"`
+	Error        string      `json:"error,omitempty"`
+	Kind         string      `json:"error_kind,omitempty"`
+}
+
+// toWire flattens a completion event for the stream. A non-finite rate
+// (which JSON cannot encode — the whole event would be dropped from the
+// stream) degrades to zero, the same "rate unknown" value store hits
+// report.
+func toWire(ev sim.Event) wireEvent {
+	cps := ev.CyclesPerSec
+	if math.IsInf(cps, 0) || math.IsNaN(cps) {
+		cps = 0
+	}
+	we := wireEvent{
+		Index:        ev.Index,
+		Key:          ev.Key,
+		Bench:        ev.Req.Bench,
+		CyclesPerSec: cps,
+		Result:       ev.Res,
+	}
+	if ev.Err != nil {
+		we.Error = ev.Err.Error()
+		we.Kind = errorKind(ev.Err)
+	} else {
+		we.Source = ev.Source.String()
+	}
+	return we
+}
+
+// maxRequestBody bounds request decoding; a sim.Request is a few KB,
+// a stream batch of thousands still comfortably fits.
+const maxRequestBody = 16 << 20
+
+// handleRun executes one request synchronously.
+func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req sim.Request
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, kindBadConfig, fmt.Sprintf("decoding request body: %v", err))
+		return
+	}
+	res, err := s.runner.Run(r.Context(), req)
+	if err != nil {
+		writeTypedError(w, err)
+		return
+	}
+	writeJSON(w, res)
+}
+
+// handleStream executes a batch, streaming one NDJSON event per request
+// as it settles — the wire mirror of sim.Stream. Per-request failures
+// ride inside their events; the response status is already 200 by then.
+func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Requests []sim.Request `json:"requests"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, kindBadConfig, fmt.Sprintf("decoding request body: %v", err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	// Stream serializes sink calls, so the encoder needs no extra lock.
+	s.runner.Stream(r.Context(), body.Requests, func(ev sim.Event) {
+		enc.Encode(toWire(ev))
+		if flusher != nil {
+			flusher.Flush()
+		}
+	})
+}
+
+// handleResult serves a stored result by its sim.Key.
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if s.store == nil {
+		writeError(w, http.StatusNotFound, kindInternal, "no result store configured")
+		return
+	}
+	res, ok := s.store.Load(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, kindInternal, fmt.Sprintf("no stored result for key %q", key))
+		return
+	}
+	writeJSON(w, res)
+}
+
+// writeTypedError maps the sim error taxonomy onto HTTP statuses:
+// client mistakes are 400s, a cancellation (the server shutting down,
+// or the client going away mid-run) is 503.
+func writeTypedError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	kind := errorKind(err)
+	switch {
+	case errors.Is(err, sim.ErrUnknownBenchmark), errors.Is(err, sim.ErrBadConfig):
+		status = http.StatusBadRequest
+	case errors.Is(err, sim.ErrCanceled):
+		status = http.StatusServiceUnavailable
+	}
+	writeError(w, status, kind, err.Error())
+}
+
+// writeError emits the service's JSON error shape.
+func writeError(w http.ResponseWriter, status int, kind, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg, "error_kind": kind})
+}
+
+// writeJSON emits v as the 200 response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

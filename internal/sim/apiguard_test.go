@@ -19,9 +19,9 @@ import (
 // keep out.
 func TestContextFirstEntryPoints(t *testing.T) {
 	// Packages forming the execution spine: the public regshare API
-	// (repo root), the runner, the scenario engine, the experiment
-	// harness and the core's run loop.
-	dirs := []string{"../../", ".", "../scenario", "../experiments", "../core"}
+	// (repo root), the runner, the dispatch backends, the scenario
+	// engine, the experiment harness and the core's run loop.
+	dirs := []string{"../../", ".", "../dispatch", "../scenario", "../experiments", "../core"}
 
 	// Sanctioned context-free shims, as package-qualified names. Each
 	// must be a thin wrapper over a context-first sibling.

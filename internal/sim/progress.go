@@ -76,6 +76,12 @@ func (p *Progress) Observe(ev Event) {
 	if !p.tty {
 		return
 	}
+	p.drawLocked()
+}
+
+// drawLocked renders the current counters over the live line. Callers
+// hold p.mu.
+func (p *Progress) drawLocked() {
 	c := p.r.Counters()
 	count := fmt.Sprintf("%d", p.done)
 	if p.total > 0 {
@@ -97,11 +103,16 @@ func (p *Progress) rate() float64 {
 }
 
 // Finish terminates the live line (if one was drawn) so subsequent
-// output starts on a fresh line.
+// output starts on a fresh line. It first redraws one final complete
+// done/total line: the stream can end between refreshes (a batch whose
+// last events settled after the final redraw, or a total that grew via
+// AddTotal), and without the flush the terminal would keep showing a
+// stale partial count.
 func (p *Progress) Finish() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.live {
+		p.drawLocked()
 		fmt.Fprintln(p.w)
 		p.live = false
 	}

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestProgressFlushesFinalCompleteLine: the stream can end between
+// refreshes, so Finish must redraw one final complete done/total line
+// before terminating it — the terminal must never be left showing a
+// stale partial count.
+func TestProgressFlushesFinalCompleteLine(t *testing.T) {
+	r := New()
+	reqs := make([]Request, 3)
+	for i := range reqs {
+		reqs[i] = Request{Bench: "gzip", Warmup: uint64(100 + i), Measure: 2000}
+		reqs[i].Config = core.DefaultConfig()
+	}
+
+	var buf bytes.Buffer
+	p := NewProgress(&buf, r, len(reqs))
+	p.tty = true // the writer is not a terminal; force the live line on
+
+	if _, err := r.Stream(context.Background(), reqs, p.Observe); err != nil {
+		t.Fatal(err)
+	}
+	p.Finish()
+
+	out := buf.String()
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("Finish did not terminate the live line: %q", out)
+	}
+	lines := strings.Split(out, "\r")
+	last := strings.TrimSuffix(lines[len(lines)-1], "\n")
+	if !strings.HasPrefix(last, "3/3 ") {
+		t.Fatalf("final line is %q, want a complete 3/3 count", last)
+	}
+
+	// Finish on an already-finished (or never-drawn) line adds nothing.
+	n := buf.Len()
+	p.Finish()
+	if buf.Len() != n {
+		t.Fatal("second Finish wrote more output")
+	}
+}
+
+// TestProgressNonTTYStaysSilent: counters are maintained but nothing is
+// drawn when the writer is not a terminal.
+func TestProgressNonTTYStaysSilent(t *testing.T) {
+	r := New()
+	var buf bytes.Buffer
+	p := NewProgress(&buf, r, 1)
+	req := Request{Bench: "gzip", Config: core.DefaultConfig(), Warmup: 100, Measure: 2000}
+	if _, err := r.Stream(context.Background(), []Request{req}, p.Observe); err != nil {
+		t.Fatal(err)
+	}
+	p.Finish()
+	if buf.Len() != 0 {
+		t.Fatalf("non-tty progress wrote %q", buf.String())
+	}
+	if !strings.HasPrefix(p.Summary(), "1 requests: 1 simulated") {
+		t.Fatalf("summary = %q", p.Summary())
+	}
+}

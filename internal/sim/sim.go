@@ -104,6 +104,26 @@ type Counters struct {
 // Option configures a Runner.
 type Option func(*Runner)
 
+// Executor produces the result of one validated request. It is the
+// Runner's pluggable execution backend: the default, Simulate, runs the
+// request in-process on a fresh core; internal/dispatch substitutes a
+// pool of crash-isolated worker subprocesses or a remote regshared
+// service. Everything above the executor — validation, singleflight
+// deduplication, the in-memory and on-disk stores, streaming events —
+// is backend-independent, which is what makes results bit-identical
+// across backends.
+type Executor func(ctx context.Context, req Request) (*Result, error)
+
+// WithExecutor replaces the Runner's execution backend (default:
+// Simulate, in-process). A nil executor leaves the default in place.
+func WithExecutor(e Executor) Option {
+	return func(r *Runner) {
+		if e != nil {
+			r.exec = e
+		}
+	}
+}
+
 // WithWorkers bounds the worker pool at n (default: GOMAXPROCS).
 func WithWorkers(n int) Option {
 	return func(r *Runner) {
@@ -134,6 +154,7 @@ type Runner struct {
 	workers int
 	sem     chan struct{}
 	store   *Store
+	exec    Executor
 
 	mu    sync.Mutex
 	calls map[string]*call
@@ -212,6 +233,7 @@ func New(opts ...Option) *Runner {
 	r := &Runner{
 		workers: runtime.GOMAXPROCS(0),
 		calls:   make(map[string]*call),
+		exec:    Simulate,
 	}
 	for _, o := range opts {
 		o(r)
@@ -254,6 +276,14 @@ var cacheVersion = sync.OnceValue(func() string {
 	}
 	return "s1-unversioned"
 })
+
+// Version returns the simulator identity tag recorded in every on-disk
+// store envelope (see Store): entries written by a different simulator
+// version are treated as misses. CI uses it as the cache key for the
+// shared store directory (`sweep -simver` / `regshared -simver`), so a
+// workflow cache is reused exactly as long as the store itself would
+// serve its entries.
+func Version() string { return cacheVersion() }
 
 // Key returns the deduplication key of req: the benchmark name, a digest
 // of the full configuration (which is pure data, so its JSON encoding is
@@ -368,11 +398,18 @@ func (r *Runner) fill(ctx context.Context, key string, req Request) (*Result, So
 	defer func() { <-r.sem }()
 
 	start := time.Now()
-	res, err := simulate(ctx, req)
+	res, err := r.exec(ctx, req)
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	cps := float64(res.S.Cycles) / time.Since(start).Seconds()
+	secs := time.Since(start).Seconds()
+	if secs <= 0 {
+		// A sub-clock-resolution run must not produce a +Inf rate: it is
+		// not JSON-encodable, which would drop the event from the
+		// regshared NDJSON stream.
+		secs = 1e-9
+	}
+	cps := float64(res.S.Cycles) / secs
 	r.mu.Lock()
 	r.ctr.Simulated++
 	r.mu.Unlock()
@@ -463,6 +500,17 @@ func (r *Runner) RunBenchmarks(ctx context.Context, warmup, measure uint64, cfgF
 		reqs[i] = Request{Bench: n, Config: cfgFor(n), Warmup: warmup, Measure: measure}
 	}
 	return r.Stream(ctx, reqs, sink)
+}
+
+// Simulate is the in-process execution primitive: it validates req and
+// runs it on a fresh core, with no deduplication, stores or worker
+// pool. It is the Runner's default Executor, and what dispatch pool
+// workers and the regshared service execute on their side of the wire.
+func Simulate(ctx context.Context, req Request) (*Result, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	return simulate(ctx, req)
 }
 
 // simulate executes one run on a fresh core. The request has already
