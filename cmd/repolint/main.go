@@ -1,0 +1,21 @@
+// Command repolint machine-checks the repository's determinism,
+// zero-alloc and API invariants. It speaks the `go vet -vettool`
+// protocol, so CI runs it as
+//
+//	go build -o repolint ./cmd/repolint
+//	go vet -vettool=$(pwd)/repolint ./...
+//
+// and invoked with package patterns directly (`repolint ./...`) it
+// re-execs itself through go vet for local use. The analyzers and the
+// directives they honor (//repro:hotpath, //repro:wire, //repro:allow)
+// are documented in docs/ANALYZERS.md.
+package main
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/repolint"
+)
+
+func main() {
+	analysis.Main(repolint.Analyzers...)
+}

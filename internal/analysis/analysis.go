@@ -1,0 +1,202 @@
+// Package analysis is a small, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics. It exists
+// because this repository's correctness claims — bit-identical results
+// across execution backends, the zero-alloc hot path, the context-first
+// API contract — are structural invariants, and structural invariants
+// belong to a machine checker, not to convention. The checkers
+// themselves live in the subpackages (ctxfirst, nodeterm, hotalloc,
+// errtaxonomy, wirecheck, sinkcheck); cmd/repolint aggregates them into
+// a `go vet -vettool` binary, and the analysistest subpackage runs them
+// over fixture packages in tests.
+//
+// Deliberate deviations from an invariant are annotated in the source
+// with a suppression comment rather than configured out of the checker:
+//
+//	secs := time.Since(start).Seconds() //repro:allow nodeterm -- wall-clock speed is metadata, not results
+//
+// The directive names one or more analyzers (comma-separated) and
+// silences their diagnostics on its own line and the line directly
+// below, so it works both as a trailing comment and as a standalone
+// line above the exempted statement. The rationale after " -- " is for
+// humans; the checker ignores it but the review diff does not.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //repro:allow suppression comments. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph description `repolint help` prints.
+	Doc string
+	// Run inspects one package and reports findings via pass.Report.
+	// The returned error aborts the whole check (a broken analyzer),
+	// not a finding.
+	Run func(pass *Pass) error
+	// NeedsTypes marks analyzers that cannot run without type
+	// information. Drivers with only parsed ASTs (the thin apiguard
+	// test in internal/sim) skip them instead of mis-reporting.
+	NeedsTypes bool
+}
+
+// Pass carries one package's material through an Analyzer.Run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed files, comments included.
+	Files []*ast.File
+	// Path is the package's import path. It is always set, even when
+	// type information is absent.
+	Path string
+	// Pkg and TypesInfo are nil in AST-only drivers; analyzers with
+	// NeedsTypes are never run there.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Report delivers one finding.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf formats and delivers one finding.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Finding is a Diagnostic resolved to a position and tagged with the
+// analyzer that produced it — the unit drivers and tests trade in these.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Analyzer)
+}
+
+// Run executes the analyzers over one package and returns the surviving
+// findings in position order. Suppressed findings — those on a line
+// covered by a matching //repro:allow comment — are dropped here, so
+// every driver (the vettool, the fixture tests, the AST-only guard
+// test) honors suppressions identically. Analyzers requiring types are
+// skipped when info is nil.
+func Run(fset *token.FileSet, files []*ast.File, path string, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Finding, error) {
+	allowed := allowIndex(fset, files)
+	var findings []Finding
+	for _, a := range analyzers {
+		if a.NeedsTypes && info == nil {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Path:      path,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.report = func(d Diagnostic) {
+			posn := fset.Position(d.Pos)
+			if allowed[allowKey{a.Name, posn.Filename, posn.Line}] {
+				return
+			}
+			findings = append(findings, Finding{Analyzer: a.Name, Pos: posn, Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// allowKey addresses one suppressed (analyzer, file, line) triple.
+type allowKey struct {
+	analyzer string
+	file     string
+	line     int
+}
+
+// allowDirective is the suppression comment prefix; see the package doc.
+const allowDirective = "//repro:allow "
+
+// allowIndex collects every //repro:allow directive: each one silences
+// the named analyzers on the comment's own line (trailing form) and the
+// next line (standalone form).
+func allowIndex(fset *token.FileSet, files []*ast.File) map[allowKey]bool {
+	idx := make(map[allowKey]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, allowDirective)
+				if !ok {
+					continue
+				}
+				names, _, _ := strings.Cut(rest, "--")
+				posn := fset.Position(c.Pos())
+				for _, name := range strings.Split(names, ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					idx[allowKey{name, posn.Filename, posn.Line}] = true
+					idx[allowKey{name, posn.Filename, posn.Line + 1}] = true
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// HasDirective reports whether the comment group contains the exact
+// //repro:<name> directive line — the marker mechanism hotalloc
+// (//repro:hotpath) and wirecheck (//repro:wire) key on.
+func HasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text, ok := strings.CutPrefix(c.Text, "//repro:")
+		if !ok {
+			continue
+		}
+		directive, _, _ := strings.Cut(text, " ")
+		if strings.TrimSpace(directive) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// IsTestFile reports whether pos lies in a _test.go file. Most
+// analyzers here police production result paths and skip test files;
+// wirecheck deliberately does not.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

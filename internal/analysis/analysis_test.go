@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parse returns one parsed file (comments on) under the given name.
+func parse(t *testing.T, name, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+// lineReporter flags every top-level declaration, so tests can steer
+// findings onto chosen lines with the fixture layout alone.
+func lineReporter(name string) *Analyzer {
+	return &Analyzer{
+		Name: name,
+		Doc:  "test analyzer: flags every top-level declaration",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					pass.Reportf(d.Pos(), "decl flagged")
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func TestRunFiltersAllowDirectives(t *testing.T) {
+	src := `package p
+
+func a() {}
+
+//repro:allow probe -- standalone form covers the next line
+func b() {}
+
+func c() {} //repro:allow probe -- trailing form covers its own line
+
+func d() {} //repro:allow other -- names a different analyzer
+
+func e() {} //repro:allow other,probe -- list form names several
+`
+	fset, files := parse(t, "p.go", src)
+	findings, err := Run(fset, files, "p", nil, nil, []*Analyzer{lineReporter("probe")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []int
+	for _, f := range findings {
+		lines = append(lines, f.Pos.Line)
+	}
+	// a (line 3) and d (line 10, allow names another analyzer) survive;
+	// b, c and e are suppressed.
+	want := []int{3, 10}
+	if len(lines) != len(want) {
+		t.Fatalf("got findings on lines %v, want %v", lines, want)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("got findings on lines %v, want %v", lines, want)
+		}
+	}
+}
+
+func TestRunSkipsTypedAnalyzersWithoutTypes(t *testing.T) {
+	fset, files := parse(t, "p.go", "package p\n\nfunc a() {}\n")
+	typed := lineReporter("typed")
+	typed.NeedsTypes = true
+	findings, err := Run(fset, files, "p", nil, nil, []*Analyzer{typed, lineReporter("ast")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Analyzer == "typed" {
+			t.Fatalf("typed analyzer ran without type info: %s", f)
+		}
+	}
+	if len(findings) != 1 {
+		t.Fatalf("expected exactly the AST analyzer's finding, got %v", findings)
+	}
+}
+
+func TestRunOrdersFindings(t *testing.T) {
+	fset, files := parse(t, "p.go", "package p\n\nfunc a() {}\n\nfunc b() {}\n")
+	findings, err := Run(fset, files, "p", nil, nil,
+		[]*Analyzer{lineReporter("zeta"), lineReporter("alpha")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 4 {
+		t.Fatalf("want 4 findings, got %v", findings)
+	}
+	for i := 1; i < len(findings); i++ {
+		prev, cur := findings[i-1], findings[i]
+		if prev.Pos.Line > cur.Pos.Line ||
+			(prev.Pos.Line == cur.Pos.Line && prev.Analyzer > cur.Analyzer) {
+			t.Fatalf("findings out of order at %d: %v", i, findings)
+		}
+	}
+}
+
+func TestHasDirective(t *testing.T) {
+	src := `package p
+
+// Hot is annotated.
+//
+//repro:hotpath
+func Hot() {}
+
+// Warm mentions the word hotpath in prose only.
+func Warm() {}
+
+//repro:hotpath extra words after the name
+func Spaced() {}
+`
+	fset, files := parse(t, "p.go", src)
+	_ = fset
+	got := map[string]bool{}
+	for _, d := range files[0].Decls {
+		fn := d.(*ast.FuncDecl)
+		got[fn.Name.Name] = HasDirective(fn.Doc, "hotpath")
+	}
+	want := map[string]bool{"Hot": true, "Warm": false, "Spaced": true}
+	for name, w := range want {
+		if got[name] != w {
+			t.Errorf("HasDirective(%s) = %v, want %v", name, got[name], w)
+		}
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{
+		Analyzer: "nodeterm",
+		Pos:      token.Position{Filename: "x.go", Line: 7, Column: 3},
+		Message:  "boom",
+	}
+	s := f.String()
+	if !strings.Contains(s, "x.go:7:3") || !strings.Contains(s, "boom") || !strings.Contains(s, "[nodeterm]") {
+		t.Errorf("Finding.String() = %q", s)
+	}
+}

@@ -1,0 +1,205 @@
+// Package analysistest runs analyzers over fixture packages on disk and
+// checks their findings against `// want` expectations — the same
+// contract as golang.org/x/tools/go/analysis/analysistest, rebuilt on
+// the standard library so the repository stays dependency-free.
+//
+// Fixtures live under <testdata>/src/<importpath>/*.go; the import path
+// is real as far as the analyzer can tell, which is how path-scoped
+// analyzers (nodeterm only polices the result-producing packages) are
+// exercised: a fixture under testdata/src/repro/internal/core IS
+// repro/internal/core to the checker. Expectations are trailing
+// comments on the offending line:
+//
+//	keys := time.Now() // want `nondeterministic`
+//
+// The payload is a regexp (quoted or backquoted) matched against the
+// finding's message; several on one line demand several findings. A
+// finding with no expectation, or an expectation with no finding, fails
+// the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// sourceImporter type-checks fixture imports (standard library only)
+// from source, shared process-wide: the importer caches every package
+// it loads, so the first fixture pays for fmt and friends and the rest
+// reuse them.
+var sourceImporter = sync.OnceValue(func() types.Importer {
+	return importer.ForCompiler(token.NewFileSet(), "source", nil)
+})
+
+// Run checks a on each fixture package path under testdata/src.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	for _, path := range paths {
+		runPackage(t, testdata, a, path)
+	}
+}
+
+// TestData returns the absolute testdata directory of the calling test's
+// package.
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func runPackage(t *testing.T, testdata string, a *analysis.Analyzer, path string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("%s: reading fixture dir: %v", path, err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("%s: fixture dir %s has no .go files", path, dir)
+	}
+
+	info := analysis.NewTypesInfo()
+	tc := &types.Config{Importer: sourceImporter()}
+	pkg, err := tc.Check(path, fset, files, info)
+	if err != nil {
+		t.Fatalf("%s: typechecking fixture: %v", path, err)
+	}
+
+	findings, err := analysis.Run(fset, files, path, pkg, info, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+
+	checkExpectations(t, fset, files, path, findings)
+}
+
+// expectation is one `// want` clause: a message regexp pinned to a
+// file and line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, path string, findings []analysis.Finding) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				patterns, err := splitPatterns(text)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want comment: %v", posn.Filename, posn.Line, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", posn.Filename, posn.Line, p, err)
+					}
+					wants = append(wants, &expectation{file: posn.Filename, line: posn.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected finding: %s", path, f)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s: %s:%d: expected finding matching %q, got none", path, w.file, w.line, w.re)
+		}
+	}
+}
+
+// splitPatterns parses the payload of a want comment: one or more
+// quoted ("...") or backquoted (`...`) regexps.
+func splitPatterns(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			break
+		}
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquote in %q", s)
+			}
+			out = append(out, s[1:1+end])
+			s = s[end+2:]
+		case '"':
+			// Re-use the Go string syntax for escapes.
+			rest := s[1:]
+			end := strings.IndexByte(rest, '"')
+			for end > 0 && rest[end-1] == '\\' {
+				next := strings.IndexByte(rest[end+1:], '"')
+				if next < 0 {
+					end = -1
+					break
+				}
+				end += 1 + next
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated quote in %q", s)
+			}
+			unq, err := strconv.Unquote(s[:end+2])
+			if err != nil {
+				return nil, fmt.Errorf("bad quoted pattern %q: %v", s[:end+2], err)
+			}
+			out = append(out, unq)
+			s = s[end+2:]
+		default:
+			return nil, fmt.Errorf("pattern must be quoted or backquoted: %q", s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment carries no pattern")
+	}
+	return out, nil
+}

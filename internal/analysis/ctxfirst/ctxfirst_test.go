@@ -1,0 +1,16 @@
+package ctxfirst_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxfirst"
+)
+
+func TestCtxFirst(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), ctxfirst.Analyzer,
+		"repro",
+		"repro/internal/sim",
+		"repro/internal/stats",
+	)
+}

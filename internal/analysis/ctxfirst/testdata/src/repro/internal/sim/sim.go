@@ -1,0 +1,49 @@
+package sim
+
+import "context"
+
+// RunAll lacks the leading context and must be flagged.
+func RunAll(reqs []int) error { // want `sim.RunAll is a public Run entry point without a leading context.Context`
+	_ = reqs
+	return nil
+}
+
+// RunGood is the contract-conforming shape.
+func RunGood(ctx context.Context, reqs []int) error {
+	_ = ctx
+	_ = reqs
+	return nil
+}
+
+// Runner is an exported receiver: its Run/Stream methods are public API.
+type Runner struct{}
+
+// Stream on an exported receiver without ctx must be flagged.
+func (r *Runner) Stream(reqs []int) { // want `sim.Runner.Stream is a public Run entry point without a leading context.Context`
+	_ = reqs
+}
+
+// StreamCtx conforms.
+func (r *Runner) StreamCtx(ctx context.Context, reqs []int) {
+	_ = ctx
+	_ = reqs
+}
+
+// runQuiet is unexported: not public API, not flagged.
+func runQuiet(reqs []int) {
+	_ = reqs
+}
+
+// inner is unexported, so its methods are not public API.
+type inner struct{}
+
+// RunHidden is a method on an unexported type: not flagged.
+func (i inner) RunHidden(reqs []int) {
+	_ = reqs
+}
+
+// Ruler is exported but matches none of the Run/Stream/MustRun
+// prefixes: not an entry point, not flagged.
+func Ruler(reqs []int) {
+	_ = reqs
+}

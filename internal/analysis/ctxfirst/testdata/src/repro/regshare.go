@@ -1,0 +1,28 @@
+package regshare
+
+import "context"
+
+// Run is on the allowlist (sanctioned shim over RunContext): not
+// flagged despite the missing ctx.
+func Run(reqs []int) error {
+	_ = reqs
+	return nil
+}
+
+// MustRun is likewise allowlisted.
+func MustRun(reqs []int) {
+	_ = reqs
+}
+
+// RunContext is the context-first sibling the shims delegate to.
+func RunContext(ctx context.Context, reqs []int) error {
+	_ = ctx
+	_ = reqs
+	return nil
+}
+
+// RunOther is not on the allowlist and must be flagged.
+func RunOther(reqs []int) error { // want `regshare.RunOther is a public Run entry point without a leading context.Context`
+	_ = reqs
+	return nil
+}

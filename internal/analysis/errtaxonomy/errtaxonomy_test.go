@@ -1,0 +1,15 @@
+package errtaxonomy_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/errtaxonomy"
+)
+
+func TestErrTaxonomy(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), errtaxonomy.Analyzer,
+		"repro/internal/sim",
+		"other",
+	)
+}

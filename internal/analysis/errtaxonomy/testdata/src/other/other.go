@@ -1,0 +1,10 @@
+// Package other is outside the taxonomy contract's scope: identity
+// comparisons here are not flagged.
+package other
+
+import "io"
+
+// IsEOF compares by identity; out of scope, so no finding.
+func IsEOF(err error) bool {
+	return err == io.EOF
+}

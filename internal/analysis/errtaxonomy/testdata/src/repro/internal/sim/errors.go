@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrBad is a sentinel callers classify with errors.Is.
+var ErrBad = errors.New("bad")
+
+// Classify compares errors by identity: both comparisons are flagged.
+func Classify(err error) bool {
+	if err == io.EOF { // want `error compared with ==`
+		return true
+	}
+	if err != ErrBad { // want `error compared with !=`
+		return false
+	}
+	return true
+}
+
+// ClassifyGood uses errors.Is and nil checks: nothing flagged.
+func ClassifyGood(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, ErrBad) || errors.Is(err, io.EOF)
+}
+
+// Wrap severs the chain with %v: flagged.
+func Wrap(err error) error {
+	return fmt.Errorf("running: %v", err) // want `error formatted with %v severs`
+}
+
+// WrapGood keeps the sentinel reachable.
+func WrapGood(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("running: %w", err)
+}
+
+// Allowed is a deliberate identity check, documented in place.
+func Allowed(err error) bool {
+	return err == io.EOF //repro:allow errtaxonomy -- this reader hands io.EOF through unwrapped by contract
+}

@@ -1,0 +1,259 @@
+// Package hotalloc statically pins the zero-alloc hot path. PR 2's
+// 2.26x throughput win came from flattening every per-cycle allocation
+// out of the simulator's rename/issue/writeback/commit loop; the
+// runtime alloc_test.go proves steady-state allocs stay at zero, but
+// only for the configurations it runs. hotalloc complements it
+// structurally: a function annotated
+//
+//	//repro:hotpath
+//
+// in its doc comment may not contain the constructs that allocate (or
+// box) on Go's hot paths — append, make/new, map writes and literals,
+// closures, fmt calls, string/[]byte conversions and concatenation,
+// and implicit interface conversions of concrete values. The check is
+// per-function and syntactic: callees are not followed (annotate them
+// too if they are hot), and a deliberate exception takes a line-level
+// `//repro:allow hotalloc -- <why>`.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Directive is the doc-comment marker naming a function as part of the
+// zero-alloc hot path.
+const Directive = "hotpath"
+
+// Analyzer is the hotalloc checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "functions marked //repro:hotpath must not allocate. " +
+		"Statically forbids append, make/new, map writes, closures, fmt calls, " +
+		"string conversions and interface boxing inside annotated functions, " +
+		"pinning the zero-alloc property the runtime alloc tests sample.",
+	Run:        run,
+	NeedsTypes: true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !analysis.HasDirective(fn.Doc, Directive) {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure in hot path: the func value (and its captures) allocate")
+			return false // the literal's own body is cold until proven otherwise
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		case *ast.CompositeLit:
+			switch info.Types[n].Type.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal allocates in hot path")
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal allocates in hot path")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&composite literal escapes to the heap in hot path")
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if ix, ok := lhs.(*ast.IndexExpr); ok {
+					if _, isMap := info.Types[ix.X].Type.Underlying().(*types.Map); isMap {
+						pass.Reportf(lhs.Pos(), "map write in hot path: map assignment can grow buckets and defeats the flat-storage design")
+					}
+				}
+			}
+			checkAssignBoxing(pass, n)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(info.Types[n.X].Type) && !isConstant(info, n) {
+				pass.Reportf(n.Pos(), "string concatenation allocates in hot path")
+			}
+		case *ast.ReturnStmt:
+			checkReturnBoxing(pass, fn, n)
+		}
+		return true
+	})
+}
+
+// checkCall flags allocating builtins, fmt calls, string conversions
+// and interface-boxing arguments.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch b.Name() {
+			case "append":
+				pass.Reportf(call.Pos(), "append in hot path: growth reallocates the backing array (preallocate flat storage instead)")
+			case "make":
+				pass.Reportf(call.Pos(), "make in hot path allocates")
+			case "new":
+				pass.Reportf(call.Pos(), "new in hot path allocates")
+			case "delete":
+				pass.Reportf(call.Pos(), "map delete in hot path: maps do not belong on the flat hot path")
+			}
+			return
+		}
+	}
+
+	// Conversions: string <-> []byte/[]rune copy, and conversions to an
+	// interface type box.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type
+		from := info.Types[call.Args[0]].Type
+		switch {
+		case isString(to) != isString(from) && (isByteSlice(to) || isByteSlice(from) || isString(to) || isString(from)):
+			if isString(to) || isByteSlice(to) {
+				pass.Reportf(call.Pos(), "string/[]byte conversion copies in hot path")
+			}
+		case types.IsInterface(to) && from != nil && !types.IsInterface(from):
+			pass.Reportf(call.Pos(), "conversion to %s boxes a concrete value in hot path", to)
+		}
+		return
+	}
+
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if obj, ok := info.Uses[sel.Sel].(*types.Func); ok && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "fmt.%s in hot path: formatting allocates and boxes every operand", obj.Name())
+			return
+		}
+	}
+
+	// Concrete arguments passed to interface parameters box.
+	sig, ok := info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through whole, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := info.Types[arg].Type
+		if at == nil || types.IsInterface(at) || isUntypedNil(at) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "argument boxes %s into %s in hot path", at, pt)
+	}
+}
+
+// checkAssignBoxing flags assignments of concrete values into
+// interface-typed destinations.
+func checkAssignBoxing(pass *analysis.Pass, assign *ast.AssignStmt) {
+	info := pass.TypesInfo
+	if len(assign.Lhs) != len(assign.Rhs) {
+		return
+	}
+	for i, lhs := range assign.Lhs {
+		lt := info.Types[lhs].Type
+		if assign.Tok == token.DEFINE {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				if obj := info.Defs[id]; obj != nil {
+					lt = obj.Type()
+				}
+			}
+		}
+		rt := info.Types[assign.Rhs[i]].Type
+		if lt == nil || rt == nil || !types.IsInterface(lt) || types.IsInterface(rt) || isUntypedNil(rt) {
+			continue
+		}
+		pass.Reportf(assign.Rhs[i].Pos(), "assignment boxes %s into %s in hot path", rt, lt)
+	}
+}
+
+// checkReturnBoxing flags returns of concrete values through interface
+// results.
+func checkReturnBoxing(pass *analysis.Pass, fn *ast.FuncDecl, ret *ast.ReturnStmt) {
+	info := pass.TypesInfo
+	results := fn.Type.Results
+	if results == nil || len(ret.Results) == 0 {
+		return
+	}
+	var resultTypes []types.Type
+	for _, field := range results.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		t := info.Types[field.Type].Type
+		for range n {
+			resultTypes = append(resultTypes, t)
+		}
+	}
+	if len(resultTypes) != len(ret.Results) {
+		return // naked return or tuple-returning call; nothing to see syntactically
+	}
+	for i, e := range ret.Results {
+		rt := info.Types[e].Type
+		if resultTypes[i] == nil || rt == nil || !types.IsInterface(resultTypes[i]) || types.IsInterface(rt) || isUntypedNil(rt) {
+			continue
+		}
+		pass.Reportf(e.Pos(), "return boxes %s into %s in hot path", rt, resultTypes[i])
+	}
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// isConstant reports whether the expression folded to a constant (a
+// constant string concatenation happens at compile time).
+func isConstant(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}

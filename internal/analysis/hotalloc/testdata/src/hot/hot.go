@@ -1,0 +1,55 @@
+package hot
+
+import "fmt"
+
+type pair struct{ a, b int }
+
+func use(v any) {
+	_ = v
+}
+
+// Bad collects one of each forbidden construct.
+//
+//repro:hotpath
+func Bad(xs []int, m map[string]int) []int {
+	xs = append(xs, 1)   // want `append in hot path`
+	m["k"] = 1           // want `map write in hot path`
+	fmt.Println(len(xs)) // want `fmt.Println in hot path`
+	f := func() {}       // want `closure in hot path`
+	f()
+	b := make([]byte, 8) // want `make in hot path`
+	_ = string(b)        // want `string/\[\]byte conversion copies`
+	return xs
+}
+
+// Boxes demonstrates the implicit interface-conversion rules.
+//
+//repro:hotpath
+func Boxes(v int) any {
+	use(v)      // want `argument boxes int into`
+	a := any(v) // want `conversion to .* boxes a concrete value`
+	_ = a
+	return v // want `return boxes int into`
+}
+
+// Lit flags escaping composite literals.
+//
+//repro:hotpath
+func Lit() *pair {
+	return &pair{a: 1, b: 2} // want `&composite literal escapes`
+}
+
+// Allowed is the documented exception shape: the append is amortized
+// into a preallocated buffer, and says so.
+//
+//repro:hotpath
+func Allowed(xs []int, x int) []int {
+	xs = append(xs, x) //repro:allow hotalloc -- amortized growth into a preallocated buffer
+	return xs
+}
+
+// Cold has no directive: the same constructs pass without comment.
+func Cold(xs []int) []int {
+	fmt.Println(len(xs))
+	return append(xs, 1)
+}

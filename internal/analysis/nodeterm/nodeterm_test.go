@@ -1,0 +1,15 @@
+package nodeterm_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nodeterm"
+)
+
+func TestNoDeterm(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), nodeterm.Analyzer,
+		"repro/internal/core",
+		"repro/internal/stats",
+	)
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Stamp leaks the wall clock into a returned value: flagged.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now in a result-producing package`
+}
+
+// Measure is sanctioned wall-clock use, annotated per line.
+func Measure(f func()) time.Duration {
+	start := time.Now() //repro:allow nodeterm -- measurement metadata
+	f()
+	return time.Since(start) //repro:allow nodeterm -- measurement metadata
+}
+
+// PrintAll serializes per element straight out of map order: flagged.
+func PrintAll(m map[string]int) {
+	for k, v := range m { // want `map iteration feeds Printf`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// Keys collects map keys and never sorts them: flagged.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { // want `never sorted afterwards`
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys is the sanctioned collect-then-sort shape: not flagged.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// First publishes whichever key the runtime visits first: flagged.
+func First(m map[string]int) string {
+	for k := range m { // want `return inside a map iteration`
+		return k
+	}
+	return ""
+}
+
+// Total folds over the map commutatively; no element order escapes, so
+// this is not flagged.
+func Total(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

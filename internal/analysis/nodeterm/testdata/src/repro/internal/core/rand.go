@@ -1,0 +1,8 @@
+package core
+
+import "math/rand" // want `import of math/rand outside internal/rng`
+
+// Roll bypasses the seeded determinism choke point.
+func Roll() int {
+	return rand.Intn(6)
+}

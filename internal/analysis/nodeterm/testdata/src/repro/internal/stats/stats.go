@@ -1,0 +1,10 @@
+// Package stats is outside the determinism contract's result-producing
+// set: wall-clock reads here are not flagged.
+package stats
+
+import "time"
+
+// Uptime reads the clock freely; stats is out of scope.
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}

@@ -1,0 +1,12 @@
+package sinkcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/sinkcheck"
+)
+
+func TestSinkCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), sinkcheck.Analyzer, "sink")
+}

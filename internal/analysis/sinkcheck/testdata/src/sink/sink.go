@@ -1,0 +1,72 @@
+package sink
+
+import (
+	"encoding/json"
+	"io"
+)
+
+type event struct {
+	N int `json:"n"`
+}
+
+// Stream drops one Encode error, handles one, and blanks one.
+func Stream(w io.Writer, evs []event) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range evs {
+		enc.Encode(ev) // want `Encode error dropped`
+	}
+	var last error
+	for _, ev := range evs {
+		if err := enc.Encode(ev); err != nil {
+			last = err
+		}
+	}
+	_ = enc.Encode(event{N: -1}) // explicit blank: visible intent, not flagged
+	return last
+}
+
+type emitter struct{}
+
+func (emitter) Emit(ev event) error {
+	_ = ev
+	return nil
+}
+
+func (emitter) log(ev event) {
+	_ = ev
+}
+
+// Fan drops an Emit error; the non-sink method is fine.
+func Fan(e emitter, evs []event) {
+	for _, ev := range evs {
+		e.Emit(ev) // want `Emit error dropped`
+	}
+	for _, ev := range evs {
+		e.log(ev)
+	}
+}
+
+// Deferred drops the error through a defer.
+func Deferred(w io.Writer, ev event) {
+	enc := json.NewEncoder(w)
+	defer enc.Encode(ev) // want `Encode error dropped`
+}
+
+type counter struct{ n int }
+
+// Encode here returns nothing: name alone does not trigger the check.
+func (c *counter) Encode(ev event) {
+	_ = ev
+	c.n++
+}
+
+// Count calls the error-free Encode: not flagged.
+func Count(c *counter, ev event) {
+	c.Encode(ev)
+}
+
+// Fire documents a best-effort drop in place.
+func Fire(w io.Writer, ev event) {
+	enc := json.NewEncoder(w)
+	enc.Encode(ev) //repro:allow sinkcheck -- best-effort telemetry; a lost frame is acceptable here
+}

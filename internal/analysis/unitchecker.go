@@ -1,0 +1,251 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+)
+
+// This file is the `go vet -vettool` driver: cmd/go speaks the
+// unitchecker protocol to vet tools, and Main implements it from the
+// standard library alone (golang.org/x/tools is deliberately not a
+// dependency). The protocol, as cmd/go drives it:
+//
+//  1. `tool -flags` — print a JSON description of the tool's flags
+//     (ours has none beyond the protocol's own, so: "[]");
+//  2. `tool -V=full` — print a version line ending in a content hash,
+//     which cmd/go folds into its action cache key;
+//  3. `tool <unit>.cfg` — analyze one package unit. The cfg file names
+//     the unit's Go files, its import map and the export-data file of
+//     every dependency, so the unit can be type-checked hermetically
+//     without loading any source but its own. Dependencies come through
+//     first with VetxOnly set (facts-only mode; these analyzers carry no
+//     facts, so the tool just writes the expected empty facts file).
+//
+// Diagnostics go to stderr as "file:line:col: message [analyzer]"; a
+// non-zero exit tells cmd/go the package failed vetting.
+
+// unitConfig mirrors the JSON layout of cmd/go's vet config file
+// (cmd/go/internal/work's vetConfig); fields this driver does not
+// consume are omitted.
+type unitConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+	ImportMap    map[string]string
+	PackageFile  map[string]string
+	Standard     map[string]bool
+	PackageVetx  map[string]string
+	VetxOnly     bool
+	VetxOutput   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point cmd/repolint delegates to: it implements the
+// vettool protocol for the given analyzers and exits. Invoked with
+// package patterns instead of a cfg file (`repolint ./...`), it re-execs
+// itself through `go vet -vettool=<self>` so the command works directly
+// from a shell.
+func Main(analyzers ...*Analyzer) {
+	progname := os.Args[0]
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [package pattern ...] | %s <unit>.cfg\n\nAnalyzers:\n", progname, progname)
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, firstSentence(a.Doc))
+		}
+	}
+	version := fs.String("V", "", "print version and exit (protocol flag)")
+	printFlags := fs.Bool("flags", false, "print flags in JSON and exit (protocol flag)")
+	fs.Parse(os.Args[1:])
+
+	switch {
+	case *printFlags:
+		fmt.Println("[]")
+		os.Exit(0)
+	case *version != "":
+		// The hash of the tool's own binary versions its behavior for
+		// cmd/go's action cache, exactly like x/tools' unitchecker.
+		fmt.Printf("%s version devel comments-go-here buildID=%x\n", progname, selfHash())
+		os.Exit(0)
+	}
+
+	args := fs.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnit(args[0], analyzers))
+	}
+	if len(args) == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	os.Exit(execGoVet(args))
+}
+
+// selfHash digests the running executable.
+func selfHash() []byte {
+	exe, err := os.Executable()
+	if err != nil {
+		return []byte("unknown")
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		return []byte("unknown")
+	}
+	h := sha256.Sum256(data)
+	return h[:]
+}
+
+// firstSentence trims an analyzer doc to its headline.
+func firstSentence(doc string) string {
+	if i := strings.IndexAny(doc, ".\n"); i >= 0 {
+		return doc[:i+1]
+	}
+	return doc
+}
+
+// execGoVet re-runs the tool through `go vet` over package patterns —
+// the local-development convenience mode (`repolint ./...`).
+func execGoVet(patterns []string) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: locating own executable: %v\n", err)
+		return 1
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "repolint: running go vet: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// runUnit analyzes one package unit per the cfg file and returns the
+// process exit code.
+func runUnit(cfgPath string, analyzers []*Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+		return 1
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// cmd/go expects the facts ("vetx") output file to exist after every
+	// invocation; these analyzers are fact-free, so it is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "repolint: writing %s: %v\n", cfg.VetxOutput, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typeCheckUnit(fset, files, &cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "repolint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	findings, err := Run(fset, files, cfg.ImportPath, pkg, info, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// typeCheckUnit type-checks the unit against its dependencies' compiled
+// export data, resolving import paths through the cfg's ImportMap (which
+// is how test-variant packages and vendoring are disambiguated).
+func typeCheckUnit(fset *token.FileSet, files []*ast.File, cfg *unitConfig) (*types.Package, *types.Info, error) {
+	gcImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	tc := &types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			if path == "unsafe" {
+				return types.Unsafe, nil
+			}
+			if mapped, ok := cfg.ImportMap[path]; ok {
+				path = mapped
+			}
+			return gcImporter.Import(path)
+		}),
+		Sizes:     types.SizesFor(cfg.Compiler, runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := NewTypesInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// NewTypesInfo allocates a types.Info with every map analyzers consume.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,62 @@
+package wire
+
+// Frame is a wire struct with one untagged and one unexported field.
+//
+//repro:wire
+type Frame struct {
+	ID   int    `json:"id"`
+	Name string `json:"name"`
+	Note string // want `wire struct Frame field Note has no json tag`
+	seq  int    // want `wire struct Frame has unexported field seq`
+}
+
+// Meta shows the sanctioned in-memory-only exception.
+//
+//repro:wire
+type Meta struct {
+	OK  bool `json:"ok"`
+	ttl int  //repro:allow wirecheck -- in-memory cache hint, deliberately not serialized
+}
+
+// Envelope embeds without a tag: the promoted fields reach the wire
+// under implicit names.
+//
+//repro:wire
+type Envelope struct {
+	Meta        // want `embeds an untagged field`
+	Body string `json:"body"`
+}
+
+// Weird carries the directive but is not a struct.
+//
+//repro:wire
+type Weird int // want `not a struct type`
+
+// plain has no json tags anywhere: unkeyed literals of it are fine.
+type plain struct {
+	A int
+	B int
+}
+
+// Good is fully tagged and keyed: nothing flagged.
+//
+//repro:wire
+type Good struct {
+	X int `json:"x"`
+	Y int `json:"y"`
+}
+
+var (
+	// Keyed literal of a wire struct: fine.
+	keyed = Frame{ID: 1, Name: "a"}
+	// Unkeyed literal of a json-tagged struct: flagged even though the
+	// unkeyed check is directive-independent.
+	unkeyed = Frame{1, "a", "n", 0} // want `unkeyed composite literal of wire struct`
+	// Unkeyed literal of an untagged struct: fine.
+	flat = plain{1, 2}
+)
+
+// Use keeps the vars referenced.
+func Use() (Frame, Frame, plain) {
+	return keyed, unkeyed, flat
+}

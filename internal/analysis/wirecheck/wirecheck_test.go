@@ -1,0 +1,12 @@
+package wirecheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/wirecheck"
+)
+
+func TestWireCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), wirecheck.Analyzer, "wire")
+}

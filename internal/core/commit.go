@@ -9,6 +9,8 @@ import "repro/internal/isa"
 // §3.3). Committing also trains the SMB infrastructure (CSN map, DDT,
 // distance predictor, §3.1) and maintains the committed front-end state
 // used by commit-level flushes (memory traps, bypass validation failures).
+//
+//repro:hotpath
 func (c *Core) commit() {
 	for n := 0; n < c.cfg.CommitWidth; n++ {
 		if c.robCount == 0 {

@@ -11,6 +11,8 @@ import (
 // a fetch-time mismatch against the architecturally-correct trace diverges
 // fetch down the predicted (wrong) path through the program's static code,
 // so wrong-path µops really rename and really get squashed later.
+//
+//repro:hotpath
 func (c *Core) fetch() {
 	if c.cycle < c.fetchStallUntil {
 		return

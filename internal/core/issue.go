@@ -8,6 +8,8 @@ import "repro/internal/isa"
 // the right class is free: 4 ALUs, 1 integer mul/div unit (divide not
 // pipelined), 2 FP adders, 2 FP mul/div units (divide not pipelined), two
 // load/store ports and one store-only port.
+//
+//repro:hotpath
 func (c *Core) issue() {
 	issued := 0
 	alu, fp, fpDiv, ldst, st := 0, 0, 0, 0, 0
@@ -21,7 +23,7 @@ func (c *Core) issue() {
 			continue // squashed or already gone
 		}
 		if issued >= c.cfg.IssueWidth || e.dispatchAt > c.cycle || !c.srcsReady(e) {
-			keep = append(keep, idx)
+			keep = append(keep, idx) //repro:allow hotalloc -- amortized: appends into a buffer retained on c and resliced to [:0]; steady state never grows
 			continue
 		}
 
@@ -86,7 +88,7 @@ func (c *Core) issue() {
 				c.tracer.Issued(c.cycle, e.csn)
 			}
 		} else {
-			keep = append(keep, idx)
+			keep = append(keep, idx) //repro:allow hotalloc -- amortized: appends into a buffer retained on c and resliced to [:0]; steady state never grows
 		}
 	}
 	c.iq = keep

@@ -10,6 +10,8 @@ import (
 // queue: register renaming, Move Elimination (§2), SMB bypassing through
 // the ROB-indexed producer window (§3.2), Store Sets lookups, and
 // checkpoint allocation at branches (§4.1).
+//
+//repro:hotpath
 func (c *Core) rename() {
 	for n := 0; n < c.cfg.RenameWidth; n++ {
 		if c.fqHead == c.fqTail {

@@ -14,6 +14,8 @@ import "repro/internal/isa"
 // ROB-order scan — the order is architecturally visible through the
 // memory-order violation checks, which consult other µops' executed
 // state.
+//
+//repro:hotpath
 func (c *Core) writeback() {
 	keep := c.inflight[:0]
 	completing := c.completing[:0]
@@ -23,10 +25,10 @@ func (c *Core) writeback() {
 			continue // squashed, or the slot was recycled
 		}
 		if e.readyAt > c.cycle {
-			keep = append(keep, ref)
+			keep = append(keep, ref) //repro:allow hotalloc -- amortized: appends into a buffer retained on c and resliced to [:0]; steady state never grows
 			continue
 		}
-		completing = append(completing, ref.robIdx)
+		completing = append(completing, ref.robIdx) //repro:allow hotalloc -- amortized: appends into a buffer retained on c and resliced to [:0]; steady state never grows
 	}
 	c.inflight = keep
 
@@ -49,7 +51,7 @@ func (c *Core) writeback() {
 			// re-running a bypassed load's validation access). The old
 			// ROB-order scan re-checked readyAt at visit time; re-queue
 			// the µop so it completes when the new time arrives.
-			c.inflight = append(c.inflight, inflightRef{robIdx: idx, csn: e.csn})
+			c.inflight = append(c.inflight, inflightRef{robIdx: idx, csn: e.csn}) //repro:allow hotalloc -- amortized: appends into a buffer retained on c and resliced to [:0]; steady state never grows
 			continue
 		}
 		c.complete(idx, e)

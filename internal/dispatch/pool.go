@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"sort"
 	"sync"
 
 	"repro/internal/sim"
@@ -87,6 +88,7 @@ func (p *Pool) PIDs() []int {
 			pids = append(pids, w.cmd.Process.Pid)
 		}
 	}
+	sort.Ints(pids)
 	return pids
 }
 
@@ -146,6 +148,7 @@ func (p *Pool) Execute(ctx context.Context, req sim.Request) (*sim.Result, error
 func (p *Pool) Close() error {
 	p.mu.Lock()
 	workers := make([]*worker, 0, len(p.live))
+	//repro:allow nodeterm -- shutdown fan-out: every worker is killed, order is unobservable
 	for w := range p.live {
 		workers = append(workers, w)
 	}

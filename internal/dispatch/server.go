@@ -50,6 +50,8 @@ func (s *Service) Handler() http.Handler {
 }
 
 // wireEvent is the NDJSON form of one sim.Event on /v1/stream.
+//
+//repro:wire
 type wireEvent struct {
 	Index        int         `json:"index"`
 	Key          string      `json:"key,omitempty"`
@@ -120,8 +122,17 @@ func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	// Stream serializes sink calls, so the encoder needs no extra lock.
+	// The first failed write means the client is gone; later events are
+	// drained without touching the dead connection, and the stream ends
+	// early rather than resuming mid-sequence with silent gaps.
+	var encErr error
 	s.runner.Stream(r.Context(), body.Requests, func(ev sim.Event) {
-		enc.Encode(toWire(ev))
+		if encErr != nil {
+			return
+		}
+		if encErr = enc.Encode(toWire(ev)); encErr != nil {
+			return
+		}
 		if flusher != nil {
 			flusher.Flush()
 		}
@@ -162,11 +173,13 @@ func writeTypedError(w http.ResponseWriter, err error) {
 func writeError(w http.ResponseWriter, status int, kind, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": msg, "error_kind": kind})
+	// A failed write means the client hung up; there is no one left to
+	// report the error to.
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg, "error_kind": kind})
 }
 
 // writeJSON emits v as the 200 response.
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v)
+	_ = json.NewEncoder(w).Encode(v)
 }

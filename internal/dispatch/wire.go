@@ -105,6 +105,8 @@ func ctxCause(ctx context.Context) error {
 }
 
 // workerRequest is one stdin frame to a pool worker.
+//
+//repro:wire
 type workerRequest struct {
 	ID  uint64      `json:"id"`
 	Req sim.Request `json:"req"`
@@ -112,6 +114,8 @@ type workerRequest struct {
 
 // workerResponse is one stdout frame from a pool worker. Exactly one of
 // Result and Err is set.
+//
+//repro:wire
 type workerResponse struct {
 	ID     uint64      `json:"id"`
 	Result *sim.Result `json:"result,omitempty"`

@@ -3,6 +3,7 @@ package dispatch
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -43,7 +44,7 @@ func ServeWorker(r io.Reader, w io.Writer) error {
 	for {
 		var fr workerRequest
 		if err := dec.Decode(&fr); err != nil {
-			if err == io.EOF {
+			if errors.Is(err, io.EOF) {
 				return nil
 			}
 			return fmt.Errorf("decoding request frame: %w", err)

@@ -136,10 +136,10 @@ func (s *Spec) Expand(ov Overrides) (*Matrix, error) {
 			}
 		}
 		if err := checkTrackerSized(&baseCfg); err != nil {
-			return nil, fmt.Errorf("scenario %q cell %v: baseline config: %v", s.Name, cell.Labels, err)
+			return nil, fmt.Errorf("scenario %q cell %v: baseline config: %w", s.Name, cell.Labels, err)
 		}
 		if err := checkTrackerSized(&optCfg); err != nil {
-			return nil, fmt.Errorf("scenario %q cell %v: optimized config: %v", s.Name, cell.Labels, err)
+			return nil, fmt.Errorf("scenario %q cell %v: optimized config: %w", s.Name, cell.Labels, err)
 		}
 		cell.Base = intern(baseCfg)
 		cell.Opt = intern(optCfg)

@@ -80,16 +80,19 @@ func (p *Patch) Validate() error {
 	if p.CounterBits != nil && *p.CounterBits > 8 {
 		return fmt.Errorf("ctrbits %d out of range (ISRB counters are 1..8 bits wide)", *p.CounterBits)
 	}
-	for name, v := range map[string]*int{
-		"entries": p.Entries, "ctrbits": p.CounterBits, "ddt": p.DDTEntries,
-		"ddttagbits": p.DDTTagBits, "rob": p.ROBSize, "iq": p.IQSize,
-		"lq": p.LQSize, "sq": p.SQSize, "physregs": p.PhysRegs,
-		"checkpoints": p.Checkpoints, "fetchwidth": p.FetchWidth,
-		"renamewidth": p.RenameWidth, "issuewidth": p.IssueWidth,
-		"commitwidth": p.CommitWidth, "lazylowwater": p.LazyReclaimLowWater,
+	for _, f := range []struct {
+		name string
+		v    *int
+	}{
+		{"entries", p.Entries}, {"ctrbits", p.CounterBits}, {"ddt", p.DDTEntries},
+		{"ddttagbits", p.DDTTagBits}, {"rob", p.ROBSize}, {"iq", p.IQSize},
+		{"lq", p.LQSize}, {"sq", p.SQSize}, {"physregs", p.PhysRegs},
+		{"checkpoints", p.Checkpoints}, {"fetchwidth", p.FetchWidth},
+		{"renamewidth", p.RenameWidth}, {"issuewidth", p.IssueWidth},
+		{"commitwidth", p.CommitWidth}, {"lazylowwater", p.LazyReclaimLowWater},
 	} {
-		if v != nil && *v < 0 {
-			return fmt.Errorf("negative %s: %d", name, *v)
+		if f.v != nil && *f.v < 0 {
+			return fmt.Errorf("negative %s: %d", f.name, *f.v)
 		}
 	}
 	return nil

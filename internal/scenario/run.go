@@ -13,6 +13,8 @@ import (
 const reportSchema = "sr1"
 
 // CellResult is one grid point's aggregated outcome.
+//
+//repro:wire
 type CellResult struct {
 	// Labels are the axis value labels selecting this cell.
 	Labels []string `json:"labels"`
@@ -25,6 +27,8 @@ type CellResult struct {
 }
 
 // RunReport is a scenario's stable machine-readable outcome.
+//
+//repro:wire
 type RunReport struct {
 	Schema   string       `json:"schema"`
 	Scenario string       `json:"scenario"`
@@ -34,7 +38,7 @@ type RunReport struct {
 	Measure  uint64       `json:"measure"`
 	Cells    []CellResult `json:"cells"`
 
-	spec *Spec
+	spec *Spec //repro:allow wirecheck -- runtime handle for rendering; deliberately not serialized
 }
 
 // Run executes the matrix through r — one batched Stream over the

@@ -46,6 +46,8 @@ import (
 
 // Value is one point on an axis: a display label plus the configuration
 // patch selecting the point.
+//
+//repro:wire
 type Value struct {
 	Label string `json:"label"`
 	Patch Patch  `json:"patch"`
@@ -56,6 +58,8 @@ type Value struct {
 // each cell compares against a baseline of the same ROB size); a
 // non-shared axis patches only the optimized side (e.g. an ISRB-size
 // axis, where every cell compares against the one unmodified baseline).
+//
+//repro:wire
 type Axis struct {
 	Name   string  `json:"name"`
 	Shared bool    `json:"shared,omitempty"`
@@ -74,6 +78,8 @@ const (
 )
 
 // ReportSpec selects how a scenario's results are rendered as a table.
+//
+//repro:wire
 type ReportSpec struct {
 	Kind        string `json:"kind"`                  // "grid" | "series"
 	RowHeader   string `json:"rowheader,omitempty"`   // grid: first column's header
@@ -81,6 +87,8 @@ type ReportSpec struct {
 }
 
 // Spec is one parsed scenario.
+//
+//repro:wire
 type Spec struct {
 	Name        string `json:"name"`
 	Title       string `json:"title"`
@@ -163,9 +171,12 @@ func (s *Spec) Validate() error {
 			}
 		}
 	}
-	for side, p := range map[string]*Patch{"base": &s.Base, "opt": &s.Opt} {
-		if err := p.Validate(); err != nil {
-			return fail("%s patch: %v", side, err)
+	for _, sp := range []struct {
+		side string
+		p    *Patch
+	}{{"base", &s.Base}, {"opt", &s.Opt}} {
+		if err := sp.p.Validate(); err != nil {
+			return fail("%s patch: %v", sp.side, err)
 		}
 	}
 	switch s.Report.Kind {

@@ -5,98 +5,67 @@ import (
 	"go/parser"
 	"go/token"
 	"io/fs"
-	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/ctxfirst"
 )
 
-// TestContextFirstEntryPoints is the API-regression guard behind the CI
-// docs job: every exported Run*/Stream*/MustRun* entry point in the
-// execution-API packages must take a context.Context as its first
-// parameter. The only sanctioned exceptions are the documented
-// background-context shims; anything else regaining a context-free
-// signature is exactly the fire-and-forget API this guard exists to
-// keep out.
+// TestContextFirstEntryPoints is the API-regression guard: every
+// exported Run*/Stream*/MustRun* entry point in the execution-spine
+// packages must take a context.Context as its first parameter. The
+// check itself is the ctxfirst analyzer — the same one `go vet
+// -vettool=repolint` runs in CI — driven here over freshly parsed (not
+// type-checked) trees, so the guard still fires in a plain `go test
+// ./...` with no vet step. The analyzer owns the allowlist of
+// sanctioned background-context shims; this test only maps directories
+// to import paths and sanity-checks that the scan still sees the API.
 func TestContextFirstEntryPoints(t *testing.T) {
-	// Packages forming the execution spine: the public regshare API
-	// (repo root), the runner, the dispatch backends, the scenario
-	// engine, the experiment harness and the core's run loop.
-	dirs := []string{"../../", ".", "../dispatch", "../scenario", "../experiments", "../core"}
-
-	// Sanctioned context-free shims, as package-qualified names. Each
-	// must be a thin wrapper over a context-first sibling.
-	allowed := map[string]bool{
-		"regshare.Run":     true, // shim over RunContext
-		"regshare.MustRun": true, // shim over Run
-		"core.Core.Run":    true, // shim over RunContext
+	// Directories forming the execution spine, with the import path the
+	// analyzer scopes on.
+	spine := []struct {
+		dir  string
+		path string
+	}{
+		{"../../", "repro"},
+		{".", "repro/internal/sim"},
+		{"../dispatch", "repro/internal/dispatch"},
+		{"../scenario", "repro/internal/scenario"},
+		{"../experiments", "repro/internal/experiments"},
+		{"../core", "repro/internal/core"},
 	}
 
 	found := 0
-	for _, dir := range dirs {
+	for _, sp := range spine {
 		fset := token.NewFileSet()
-		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		pkgs, err := parser.ParseDir(fset, sp.dir, func(fi fs.FileInfo) bool {
 			return !strings.HasSuffix(fi.Name(), "_test.go")
-		}, 0)
+		}, parser.ParseComments)
 		if err != nil {
-			t.Fatalf("parsing %s: %v", dir, err)
+			t.Fatalf("parsing %s: %v", sp.dir, err)
 		}
-		for pkgName, pkg := range pkgs {
-			for path, file := range pkg.Files {
-				for _, decl := range file.Decls {
-					fn, ok := decl.(*ast.FuncDecl)
-					if !ok || !fn.Name.IsExported() {
-						continue
-					}
-					name := fn.Name.Name
-					if name == "Runner" || // accessor, not an entry point
-						(!strings.HasPrefix(name, "Run") &&
-							!strings.HasPrefix(name, "Stream") &&
-							!strings.HasPrefix(name, "MustRun")) {
-						continue
-					}
-					found++
-					qual := pkgName + "." + qualify(fn)
-					if allowed[qual] {
-						continue
-					}
-					if !firstParamIsContext(fn) {
-						t.Errorf("%s: %s (%s) is a public Run entry point without a leading context.Context",
-							filepath.Clean(path), qual, fset.Position(fn.Pos()))
+		for _, pkg := range pkgs {
+			var files []*ast.File
+			for _, f := range pkg.Files {
+				files = append(files, f)
+				for _, decl := range f.Decls {
+					if fn, ok := decl.(*ast.FuncDecl); ok && ctxfirst.IsEntryPoint(fn) {
+						found++
 					}
 				}
+			}
+			findings, err := analysis.Run(fset, files, sp.path, nil, nil,
+				[]*analysis.Analyzer{ctxfirst.Analyzer})
+			if err != nil {
+				t.Fatalf("%s: %v", sp.path, err)
+			}
+			for _, f := range findings {
+				t.Errorf("%s", f)
 			}
 		}
 	}
 	if found < 10 {
 		t.Fatalf("guard only saw %d Run/Stream entry points; the scan is broken", found)
 	}
-}
-
-// qualify names a method as Recv.Name, a function as Name.
-func qualify(fn *ast.FuncDecl) string {
-	if fn.Recv == nil || len(fn.Recv.List) == 0 {
-		return fn.Name.Name
-	}
-	typ := fn.Recv.List[0].Type
-	if star, ok := typ.(*ast.StarExpr); ok {
-		typ = star.X
-	}
-	if id, ok := typ.(*ast.Ident); ok {
-		return id.Name + "." + fn.Name.Name
-	}
-	return fn.Name.Name
-}
-
-// firstParamIsContext reports whether fn's first parameter is typed
-// context.Context.
-func firstParamIsContext(fn *ast.FuncDecl) bool {
-	if fn.Type.Params == nil || len(fn.Type.Params.List) == 0 {
-		return false
-	}
-	sel, ok := fn.Type.Params.List[0].Type.(*ast.SelectorExpr)
-	if !ok {
-		return false
-	}
-	id, ok := sel.X.(*ast.Ident)
-	return ok && id.Name == "context" && sel.Sel.Name == "Context"
 }

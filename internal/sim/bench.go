@@ -40,6 +40,8 @@ type BenchPoint struct {
 // baseline comparison refuses to match points that ran different
 // lengths (older reports predate the fields — omitempty keeps them
 // loadable, and matching then falls back to benchmark+tracker).
+//
+//repro:wire
 type BenchResult struct {
 	Bench        string  `json:"bench"`
 	Tracker      string  `json:"tracker"`
@@ -54,6 +56,8 @@ type BenchResult struct {
 
 // BenchBaseline is an earlier report's aggregate, embedded so a report
 // is self-contained evidence of a speedup (or regression).
+//
+//repro:wire
 type BenchBaseline struct {
 	Label        string  `json:"label"`
 	GMeanCPS     float64 `json:"gmean_cycles_per_sec"`
@@ -72,6 +76,8 @@ type BenchBaseline struct {
 }
 
 // BenchReport is the full BENCH_*.json payload.
+//
+//repro:wire
 type BenchReport struct {
 	Schema string `json:"schema"`
 	Label  string `json:"label,omitempty"`
@@ -163,12 +169,12 @@ func RunBench(ctx context.Context, points []BenchPoint, quick bool, progress fun
 func RunBenchVia(ctx context.Context, points []BenchPoint, quick bool, exec Executor, progress func(BenchResult)) (*BenchReport, error) {
 	return runBench(ctx, points, quick, func(ctx context.Context, pt BenchPoint) (BenchResult, error) {
 		req := Request{Bench: pt.Bench, Config: benchConfig(pt.Tracker), Warmup: pt.Warmup, Measure: pt.Measure}
-		start := time.Now()
+		start := time.Now() //repro:allow nodeterm -- wall-clock measurement metadata, not a simulated result
 		res, err := exec(ctx, req)
 		if err != nil {
 			return BenchResult{}, err
 		}
-		wall := time.Since(start)
+		wall := time.Since(start) //repro:allow nodeterm -- wall-clock measurement metadata, not a simulated result
 		if wall <= 0 {
 			wall = time.Nanosecond
 		}
@@ -196,12 +202,12 @@ func directPoint(ctx context.Context, pt BenchPoint) (BenchResult, error) {
 	}
 	prog := workloads.Build(spec)
 	c := core.New(benchConfig(pt.Tracker), prog)
-	start := time.Now()
+	start := time.Now() //repro:allow nodeterm -- wall-clock measurement metadata, not a simulated result
 	st, err := c.RunContext(ctx, pt.Warmup, pt.Measure)
 	if err != nil {
 		return BenchResult{}, canceledErr(pt.Bench, err)
 	}
-	wall := time.Since(start)
+	wall := time.Since(start) //repro:allow nodeterm -- wall-clock measurement metadata, not a simulated result
 	if wall <= 0 {
 		wall = time.Nanosecond
 	}

@@ -41,7 +41,7 @@ func (req Request) Validate() error {
 			req.Bench, ErrBadConfig)
 	}
 	if err := req.Config.Check(); err != nil {
-		return fmt.Errorf("sim: %s: %w: %v", req.Bench, ErrBadConfig, err)
+		return fmt.Errorf("sim: %s: %w: %w", req.Bench, ErrBadConfig, err)
 	}
 	if _, err := workloads.ByName(req.Bench); err != nil {
 		return fmt.Errorf("sim: %w %q (known: %v)", ErrUnknownBenchmark, req.Bench, workloads.Names())

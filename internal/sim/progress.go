@@ -48,7 +48,7 @@ type Progress struct {
 // NewProgress builds a progress line over total expected events,
 // reading hit/sim counters from r.
 func NewProgress(w io.Writer, r *Runner, total int) *Progress {
-	p := &Progress{w: w, r: r, total: total, start: time.Now()}
+	p := &Progress{w: w, r: r, total: total, start: time.Now()} //repro:allow nodeterm -- progress display only; never reaches a result
 	if f, ok := w.(*os.File); ok {
 		if fi, err := f.Stat(); err == nil && fi.Mode()&os.ModeCharDevice != 0 {
 			p.tty = true
@@ -95,7 +95,7 @@ func (p *Progress) drawLocked() {
 // rate is the aggregate simulated-cycles-per-wall-second since the
 // progress line started. Callers hold p.mu.
 func (p *Progress) rate() float64 {
-	secs := time.Since(p.start).Seconds()
+	secs := time.Since(p.start).Seconds() //repro:allow nodeterm -- progress display only; never reaches a result
 	if secs <= 0 {
 		return 0
 	}

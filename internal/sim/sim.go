@@ -397,12 +397,12 @@ func (r *Runner) fill(ctx context.Context, key string, req Request) (*Result, So
 	}
 	defer func() { <-r.sem }()
 
-	start := time.Now()
+	start := time.Now() //repro:allow nodeterm -- wall-clock measurement metadata, not a simulated result
 	res, err := r.exec(ctx, req)
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	secs := time.Since(start).Seconds()
+	secs := time.Since(start).Seconds() //repro:allow nodeterm -- wall-clock measurement metadata, not a simulated result
 	if secs <= 0 {
 		// A sub-clock-resolution run must not produce a +Inf rate: it is
 		// not JSON-encodable, which would drop the event from the

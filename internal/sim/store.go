@@ -35,6 +35,8 @@ type Store struct {
 
 // envelope is the on-disk entry format: a versioned header wrapped
 // around the cached Result.
+//
+//repro:wire
 type envelope struct {
 	Schema     string  `json:"schema"`      // storeSchema at write time
 	SimVersion string  `json:"sim_version"` // cacheVersion at write time
