@@ -5,11 +5,15 @@
 //
 // Endpoints:
 //
-//	POST /v1/run            one sim.Request in, one sim.Result out
-//	POST /v1/stream         {"requests":[...]} in, an NDJSON stream of
-//	                        completion events out (mirrors sim.Stream)
-//	GET  /v1/results/{key}  a completed result straight from the sharded
-//	                        on-disk store, addressed by sim.Key
+//	POST /v1/run              one sim.Request in, one sim.Result out
+//	POST /v1/stream           {"requests":[...]} in, an NDJSON stream of
+//	                          completion events out (mirrors sim.Stream),
+//	                          sealed by a {"done":true,"events":N} trailer
+//	GET  /v1/results/{key}    a completed result straight from the sharded
+//	                          on-disk store, addressed by sim.Key
+//	GET  /metrics             service counters, queue/in-flight gauges,
+//	                          store hit rate, per-endpoint p50/p99
+//	GET  /v1/requests/recent  the last-N requests' stage-stamped metrics
 //
 // All requests flow through one shared sim.Runner, so concurrent
 // clients asking for the same cell share a single simulation, and
@@ -18,10 +22,15 @@
 // pool:N` farms the simulations out to N crash-isolated worker
 // subprocesses instead of running them in the server process.
 //
+// Execution requests pass a bounded admission gate (-max-inflight,
+// -max-queue) with per-client fair dequeue; beyond both bounds the
+// service answers 429 with a Retry-After hint instead of queueing
+// unboundedly. cmd/loadgen drives the saturation curve.
+//
 // Usage:
 //
 //	regshared -addr :8347 -cachedir /var/lib/regshared
-//	regshared -addr :8347 -backend pool:8
+//	regshared -addr :8347 -backend pool:8 -max-inflight 16 -max-queue 256
 //	regshared -simver          # print the store envelope version and exit
 //
 // SIGINT/SIGTERM shut the server down gracefully: in-flight requests
@@ -47,11 +56,14 @@ import (
 func main() {
 	dispatch.MaybeWorker()
 	var (
-		addr     = flag.String("addr", ":8347", "listen address")
-		cachedir = flag.String("cachedir", "", "directory for the sharded on-disk result store (empty: off; /v1/results then always misses)")
-		backend  = flag.String("backend", "local", "execution backend: local | pool:N")
-		workers  = flag.Int("workers", 0, "cap the runner's concurrent simulations (0: GOMAXPROCS, or the pool size)")
-		simver   = flag.Bool("simver", false, "print the simulator version tag (the store envelope simver) and exit")
+		addr        = flag.String("addr", ":8347", "listen address")
+		cachedir    = flag.String("cachedir", "", "directory for the sharded on-disk result store (empty: off; /v1/results then always misses)")
+		backend     = flag.String("backend", "local", "execution backend: local | pool:N")
+		workers     = flag.Int("workers", 0, "cap the runner's concurrent simulations (0: GOMAXPROCS, or the pool size)")
+		maxInflight = flag.Int("max-inflight", 0, "admission: max concurrently executing requests (0: 4×GOMAXPROCS, min 16)")
+		maxQueue    = flag.Int("max-queue", 1024, "admission: max queued requests before 429 + Retry-After (negative: no queue, reject beyond -max-inflight)")
+		recent      = flag.Int("recent", 256, "size of the /v1/requests/recent ring buffer")
+		simver      = flag.Bool("simver", false, "print the simulator version tag (the store envelope simver) and exit")
 	)
 	flag.Parse()
 
@@ -86,7 +98,28 @@ func main() {
 	}
 	runner := sim.New(opts...)
 
-	srv := &http.Server{Addr: *addr, Handler: dispatch.NewService(runner, store).Handler()}
+	service := dispatch.NewService(runner, store,
+		dispatch.WithAdmission(*maxInflight, *maxQueue),
+		dispatch.WithRecent(*recent))
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: service.Handler(),
+		// Slowloris guard: a client gets 10s to deliver its headers, so
+		// one slow-header connection cannot hold an accept slot forever.
+		ReadHeaderTimeout: 10 * time.Second,
+		// Request bodies are decoded up front and bounded at 16MB by the
+		// handlers, so a healthy client finishes writing one well within
+		// this; a stalled body read no longer pins the connection.
+		ReadTimeout: 2 * time.Minute,
+		// Reap idle keep-alive connections instead of accumulating them.
+		IdleTimeout: 2 * time.Minute,
+		// WriteTimeout stays 0 DELIBERATELY: /v1/run responses wait on
+		// legitimately minutes-long simulations and /v1/stream writes
+		// NDJSON for the lifetime of a whole grid, so any fixed write
+		// deadline would cut healthy long responses. Stuck writers are
+		// bounded instead by the per-request context (canceled when the
+		// client goes away) and by graceful shutdown's force-close.
+	}
 
 	// ^C / SIGTERM: stop accepting, give in-flight requests 10s, then
 	// force-close (which cancels their request contexts mid-cycle-loop;

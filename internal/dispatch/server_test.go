@@ -116,6 +116,14 @@ func TestServiceResultsMiss(t *testing.T) {
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("storeless service: got %s, want 404", resp.Status)
 	}
+
+	// The Go client re-wraps the 404's (kind, message) pair into the
+	// typed ErrNotFound sentinel — a miss, not a service fault.
+	h := NewHTTP(ts.URL)
+	defer h.Close()
+	if _, err := h.Result(context.Background(), "no-such-key"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("client Result miss: got %v, want ErrNotFound", err)
+	}
 }
 
 // TestServiceStreamNDJSON: POST /v1/stream emits one event per request
@@ -142,17 +150,34 @@ func TestServiceStreamNDJSON(t *testing.T) {
 	}
 
 	events := map[int]wireEvent{}
+	trailerSeen := false
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		var ev wireEvent
-		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+		if trailerSeen {
+			t.Fatalf("line after the trailer: %q", sc.Text())
+		}
+		var line struct {
+			wireEvent
+			streamTrailer
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
 			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
 		}
-		events[ev.Index] = ev
+		if line.Done {
+			trailerSeen = true
+			if line.Events != len(events) {
+				t.Fatalf("trailer says %d events, stream had %d", line.Events, len(events))
+			}
+			continue
+		}
+		events[line.Index] = line.wireEvent
 	}
 	if err := sc.Err(); err != nil {
 		t.Fatal(err)
+	}
+	if !trailerSeen {
+		t.Fatal("stream ended without its {\"done\":true} trailer")
 	}
 	if len(events) != len(reqs) {
 		t.Fatalf("got %d events, want %d", len(events), len(reqs))

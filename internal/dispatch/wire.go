@@ -21,8 +21,15 @@ const (
 	kindUnknownBenchmark = "unknown_benchmark"
 	kindBadConfig        = "bad_config"
 	kindCanceled         = "canceled"
+	kindNotFound         = "not_found"
+	kindOverloaded       = "overloaded"
 	kindInternal         = "internal"
 )
+
+// ErrNotFound marks a result lookup whose key has no stored result: a
+// plain miss, not a service fault. GET /v1/results answers it with 404
+// and kind "not_found", and the client re-wraps it so errors.Is works.
+var ErrNotFound = errors.New("dispatch: no stored result")
 
 // simverHeader carries each side's simulator identity (sim.Version) on
 // every service request and response, so a version-skewed client/server
@@ -51,6 +58,10 @@ func errorKind(err error) string {
 		return kindBadConfig
 	case errors.Is(err, sim.ErrCanceled):
 		return kindCanceled
+	case errors.Is(err, ErrNotFound):
+		return kindNotFound
+	case errors.Is(err, ErrOverloaded):
+		return kindOverloaded
 	default:
 		return kindInternal
 	}
@@ -81,6 +92,10 @@ func wireError(kind, msg string) error {
 		sentinel = sim.ErrUnknownBenchmark
 	case kindBadConfig:
 		sentinel = sim.ErrBadConfig
+	case kindNotFound:
+		sentinel = ErrNotFound
+	case kindOverloaded:
+		sentinel = ErrOverloaded
 	case kindCanceled:
 		return fmt.Errorf("dispatch: run canceled remotely (the backend shut down or aborted it): %s", msg)
 	}

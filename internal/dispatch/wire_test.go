@@ -35,6 +35,16 @@ func TestSentinelsSurviveWireRoundTrip(t *testing.T) {
 			err:      fmt.Errorf("outer: %w", fmt.Errorf("sim: x: %w: rob too small", sim.ErrBadConfig)),
 			sentinel: sim.ErrBadConfig,
 		},
+		{
+			name:     "store miss, wrapped",
+			err:      fmt.Errorf("dispatch: %w for key abc123", ErrNotFound),
+			sentinel: ErrNotFound,
+		},
+		{
+			name:     "admission rejection, wrapped",
+			err:      fmt.Errorf("%w: admission queue full (3 queued, 2 in flight)", ErrOverloaded),
+			sentinel: ErrOverloaded,
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
