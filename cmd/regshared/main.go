@@ -6,11 +6,23 @@
 // Endpoints:
 //
 //	POST /v1/run              one sim.Request in, one sim.Result out
+//	POST /v1/runs             a batch of requests in, per-item results or
+//	                          typed errors out (one HTTP round trip; 429
+//	                          shedding is per item, in band)
 //	POST /v1/stream           {"requests":[...]} in, an NDJSON stream of
 //	                          completion events out (mirrors sim.Stream),
 //	                          sealed by a {"done":true,"events":N} trailer
 //	GET  /v1/results/{key}    a completed result straight from the sharded
 //	                          on-disk store, addressed by sim.Key
+//	GET  /v1/manifest         the store's Merkle manifest summary (root
+//	                          hash, height, entry count)
+//	GET  /v1/manifest/node    one manifest tree node by ?path= ('0'/'1'
+//	                          bits from the root), for the sync diff walk
+//	GET  /v1/manifest/shard/{shard}  one shard's entry names and digests
+//	GET  /v1/store/{name}     one raw store envelope by entry name
+//	POST /v1/sync             envelopes pushed by a peer; each is
+//	                          validated (schema, simulator version,
+//	                          key-derived name) before landing in the store
 //	GET  /metrics             service counters, queue/in-flight gauges,
 //	                          store hit rate, per-endpoint p50/p99
 //	GET  /v1/requests/recent  the last-N requests' stage-stamped metrics
@@ -27,11 +39,18 @@
 // service answers 429 with a Retry-After hint instead of queueing
 // unboundedly. cmd/loadgen drives the saturation curve.
 //
+// Two hosts running regshared with their own -cachedir federate
+// through the manifest: `regshared -cachedir DIR -sync URL` walks the
+// peer's Merkle tree (O(log shards) hash exchanges), transfers only
+// the envelopes one side is missing — pulls and pushes — and exits.
+//
 // Usage:
 //
 //	regshared -addr :8347 -cachedir /var/lib/regshared
 //	regshared -addr :8347 -backend pool:8 -max-inflight 16 -max-queue 256
 //	regshared -simver          # print the store envelope version and exit
+//	regshared -cachedir DIR -manifest       # print the store manifest summary and exit
+//	regshared -cachedir DIR -sync http://peer:8347   # reconcile with a peer and exit
 //
 // SIGINT/SIGTERM shut the server down gracefully: in-flight requests
 // get 10 seconds to finish (their runner contexts are canceled by the
@@ -47,6 +66,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/dispatch"
@@ -58,17 +78,38 @@ func main() {
 	var (
 		addr        = flag.String("addr", ":8347", "listen address")
 		cachedir    = flag.String("cachedir", "", "directory for the sharded on-disk result store (empty: off; /v1/results then always misses)")
-		backend     = flag.String("backend", "local", "execution backend: local | pool:N")
+		backend     = flag.String("backend", "local", "execution backend: local | pool:N | batched:local | batched:pool:N")
 		workers     = flag.Int("workers", 0, "cap the runner's concurrent simulations (0: GOMAXPROCS, or the pool size)")
 		maxInflight = flag.Int("max-inflight", 0, "admission: max concurrently executing requests (0: 4×GOMAXPROCS, min 16)")
 		maxQueue    = flag.Int("max-queue", 1024, "admission: max queued requests before 429 + Retry-After (negative: no queue, reject beyond -max-inflight)")
 		recent      = flag.Int("recent", 256, "size of the /v1/requests/recent ring buffer")
 		simver      = flag.Bool("simver", false, "print the simulator version tag (the store envelope simver) and exit")
+		manifest    = flag.Bool("manifest", false, "print the -cachedir store's Merkle manifest summary and exit")
+		syncURL     = flag.String("sync", "", "reconcile the -cachedir store with the regshared at this URL, print the transfer stats, and exit")
 	)
 	flag.Parse()
 
 	if *simver {
 		fmt.Println(sim.Version())
+		return
+	}
+	if *manifest || *syncURL != "" {
+		if *cachedir == "" {
+			fmt.Fprintln(os.Stderr, "regshared: -manifest and -sync need a -cachedir store")
+			os.Exit(1)
+		}
+		store := sim.NewStore(*cachedir)
+		if *manifest {
+			if err := printManifest(store); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		}
+		if err := runSync(store, *syncURL); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -77,12 +118,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if _, ok := be.(*dispatch.HTTP); ok {
+	if _, ok := be.(*dispatch.HTTP); ok || strings.Contains(*backend, "http://") || strings.Contains(*backend, "https://") {
 		// A service proxying to a service invites request loops — most
 		// treacherously to itself, where every /v1/run would re-enter
-		// /v1/run until sockets run out. Chain by pointing clients at
-		// the upstream service instead.
-		fmt.Fprintln(os.Stderr, "regshared: an http backend is not allowed here (known: local | pool:N)")
+		// /v1/run until sockets run out (batched: wrapping does not make
+		// that safe, hence the spec check too). Chain by pointing clients
+		// at the upstream service instead.
+		fmt.Fprintln(os.Stderr, "regshared: an http backend is not allowed here (known: local | pool:N | batched:...)")
 		os.Exit(1)
 	}
 	defer be.Close()
@@ -151,4 +193,43 @@ func storeDesc(dir string) string {
 		return "off"
 	}
 	return dir
+}
+
+// printManifest prints the local store's Merkle manifest summary —
+// what a peer would see from GET /v1/manifest.
+func printManifest(store *sim.Store) error {
+	m, err := store.Manifest()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("schema:      %s\n", m.Schema)
+	fmt.Printf("sim_version: %s\n", m.SimVersion)
+	fmt.Printf("root:        %s\n", m.Root)
+	fmt.Printf("height:      %d (%d shards)\n", m.Height, sim.ShardCount)
+	fmt.Printf("entries:     %d\n", m.Entries)
+	return nil
+}
+
+// runSync reconciles the local store with the regshared at url and
+// prints the transfer stats.
+func runSync(store *sim.Store, url string) error {
+	h := dispatch.NewHTTP(url)
+	defer h.Close()
+	st, err := h.Sync(sim.SignalContext(), store)
+	if err != nil {
+		return err
+	}
+	if st.InSync {
+		fmt.Printf("in sync with %s (1 hash exchange, nothing transferred)\n", url)
+		return nil
+	}
+	fmt.Printf("synced with %s: %d shards differed, %d hash exchanges\n", url, st.ShardsDiffer, st.HashExchanges)
+	fmt.Printf("pulled: %d (%d rejected locally)\n", st.Pulled, st.PullRejected)
+	fmt.Printf("pushed: %d (%d rejected by the peer)\n", st.Pushed, st.PushRejected)
+	m, err := store.Manifest()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("root:   %s (%d entries)\n", m.Root, m.Entries)
+	return nil
 }

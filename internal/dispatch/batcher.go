@@ -1,0 +1,266 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// DefaultBatchSize and DefaultBatchWait are the Batcher defaults behind
+// the `batched:` backend spec: big enough that a grid's wire cost drops
+// by an order of magnitude, short enough that a lone interactive
+// request is not held hostage to a batch that will never fill.
+const (
+	DefaultBatchSize = 32
+	DefaultBatchWait = 2 * time.Millisecond
+)
+
+// BatchItem is one request's outcome inside a bulk execution: exactly
+// one of Res and Err is set.
+type BatchItem struct {
+	Res *sim.Result
+	Err error
+}
+
+// BulkBackend is a Backend that can execute a whole batch of requests
+// in one wire operation: one worker frame for a Pool, one POST /v1/runs
+// for HTTP. ExecuteBatch returns per-item outcomes aligned 1:1 with
+// reqs — a typed per-item error (bad config, unknown benchmark,
+// admission rejection) travels inside its item and must not affect
+// siblings; only a transport-level failure fails the call itself.
+type BulkBackend interface {
+	Backend
+	ExecuteBatch(ctx context.Context, reqs []sim.Request) ([]BatchItem, error)
+}
+
+// BatcherStats counts the batcher's flush behavior, for tests and
+// diagnostics.
+type BatcherStats struct {
+	Batches         int // flushes that dispatched at least one item
+	Items           int // items dispatched across all batches
+	SizeFlushes     int // flushes triggered by reaching BatchSize
+	DeadlineFlushes int // flushes triggered by MaxWait expiring
+	MaxBatch        int // largest batch dispatched
+}
+
+// Batcher coalesces concurrent Execute calls into bulk operations on a
+// BulkBackend: requests accumulate until either BatchSize items are
+// pending or MaxWait has passed since the first pending item — the
+// classic size+deadline batcher — and flush as one ExecuteBatch call.
+// Each caller waits on its own response channel, so outcomes, errors
+// and cancellation stay per-item:
+//
+//   - a caller whose context is canceled while its item is still
+//     pending withdraws the item — it is never sent;
+//   - a caller canceled after the flush returns immediately; the batch
+//     keeps running for its siblings, and the batch's own context is
+//     canceled only when every member's context is;
+//   - a poisoned item (bad config, unknown benchmark) comes back as
+//     that item's typed error while its siblings carry results.
+//
+// The wire win is what the regshared fleet needs: a 648-cell grid over
+// the HTTP backend collapses from 648 POST /v1/run round trips into
+// ceil(648/BatchSize) POST /v1/runs calls.
+type Batcher struct {
+	be   BulkBackend
+	size int
+	wait time.Duration
+
+	mu      sync.Mutex
+	pending []*pendingItem
+	gen     uint64 // batch generation; invalidates stale deadline flushes
+	timer   *time.Timer
+	closed  bool
+	stats   BatcherStats
+}
+
+// pendingItem is one Execute call waiting for its batch: the request,
+// the caller's context (for the batch-wide cancellation vote) and the
+// buffered channel its outcome is delivered on.
+type pendingItem struct {
+	req  sim.Request
+	ctx  context.Context
+	done chan BatchItem // buffered: a flush never blocks on a gone caller
+}
+
+// NewBatcher wraps be in a size+deadline batcher. size < 1 selects
+// DefaultBatchSize; wait <= 0 selects DefaultBatchWait.
+func NewBatcher(be BulkBackend, size int, wait time.Duration) *Batcher {
+	if size < 1 {
+		size = DefaultBatchSize
+	}
+	if wait <= 0 {
+		wait = DefaultBatchWait
+	}
+	return &Batcher{be: be, size: size, wait: wait}
+}
+
+// BatchSize returns the flush size bound.
+func (b *Batcher) BatchSize() int { return b.size }
+
+// MaxWait returns the flush deadline bound.
+func (b *Batcher) MaxWait() time.Duration { return b.wait }
+
+// Stats returns a snapshot of the batcher's flush counters.
+func (b *Batcher) Stats() BatcherStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// Execute queues req for the next batch and waits for its outcome.
+// Cancellation is per-item: a pending item is withdrawn unsent, an
+// in-flight item returns immediately while its batch keeps running for
+// the siblings.
+func (b *Batcher) Execute(ctx context.Context, req sim.Request) (*sim.Result, error) {
+	it := &pendingItem{req: req, ctx: ctx, done: make(chan BatchItem, 1)}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, errors.New("dispatch: batcher is closed")
+	}
+	b.pending = append(b.pending, it)
+	var batch []*pendingItem
+	if len(b.pending) >= b.size {
+		batch = b.takeLocked(true)
+	} else if len(b.pending) == 1 {
+		gen := b.gen
+		b.timer = time.AfterFunc(b.wait, func() { b.flushDeadline(gen) })
+	}
+	b.mu.Unlock()
+	if batch != nil {
+		go b.run(batch)
+	}
+	select {
+	case out := <-it.done:
+		return out.Res, out.Err
+	case <-ctx.Done():
+		b.withdraw(it)
+		return nil, canceledErr(req.Bench, ctxCause(ctx))
+	}
+}
+
+// flushDeadline fires when a batch's MaxWait expires. A stale
+// generation means that batch already flushed on size; the timer has
+// nothing left to do.
+func (b *Batcher) flushDeadline(gen uint64) {
+	b.mu.Lock()
+	if b.gen != gen || len(b.pending) == 0 {
+		b.mu.Unlock()
+		return
+	}
+	batch := b.takeLocked(false)
+	b.mu.Unlock()
+	go b.run(batch)
+}
+
+// takeLocked claims the pending items as one batch and advances the
+// generation, which retires any outstanding deadline timer. Callers
+// hold b.mu.
+func (b *Batcher) takeLocked(bySize bool) []*pendingItem {
+	batch := b.pending
+	b.pending = nil
+	b.gen++
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	b.stats.Batches++
+	b.stats.Items += len(batch)
+	if bySize {
+		b.stats.SizeFlushes++
+	} else {
+		b.stats.DeadlineFlushes++
+	}
+	if len(batch) > b.stats.MaxBatch {
+		b.stats.MaxBatch = len(batch)
+	}
+	return batch
+}
+
+// withdraw removes a canceled caller's item if it is still pending —
+// the item is then never sent at all. If the item already flushed, the
+// batch is running; the caller has already returned, and the item's
+// buffered channel absorbs the eventual outcome.
+func (b *Batcher) withdraw(it *pendingItem) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, p := range b.pending {
+		if p == it {
+			b.pending = append(b.pending[:i], b.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// run executes one flushed batch and distributes per-item outcomes.
+// The batch context is canceled only when every member's context is
+// canceled (a lone cancellation must not abort siblings); members whose
+// context is already dead at flush time are completed as canceled
+// without ever reaching the wire.
+func (b *Batcher) run(batch []*pendingItem) {
+	live := batch[:0:0]
+	for _, it := range batch {
+		if it.ctx.Err() != nil {
+			it.done <- BatchItem{Err: canceledErr(it.req.Bench, ctxCause(it.ctx))}
+			continue
+		}
+		live = append(live, it)
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	bctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var remaining atomic.Int32
+	remaining.Store(int32(len(live)))
+	stops := make([]func() bool, len(live))
+	for i, it := range live {
+		stops[i] = context.AfterFunc(it.ctx, func() {
+			if remaining.Add(-1) == 0 {
+				cancel()
+			}
+		})
+	}
+	defer func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}()
+
+	reqs := make([]sim.Request, len(live))
+	for i, it := range live {
+		reqs[i] = it.req
+	}
+	items, err := b.be.ExecuteBatch(bctx, reqs)
+	if err == nil && len(items) != len(reqs) {
+		err = fmt.Errorf("dispatch: bulk backend answered %d items for %d requests", len(items), len(reqs))
+	}
+	for i, it := range live {
+		if err != nil {
+			it.done <- BatchItem{Err: err}
+			continue
+		}
+		it.done <- items[i]
+	}
+}
+
+// Close marks the batcher closed and closes the underlying backend.
+// Like every Backend, it must only be called once no Execute calls
+// remain in flight, so there is nothing left to flush.
+func (b *Batcher) Close() error {
+	b.mu.Lock()
+	b.closed = true
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	b.mu.Unlock()
+	return b.be.Close()
+}

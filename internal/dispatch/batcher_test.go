@@ -1,0 +1,521 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// fakeBulk is a scripted BulkBackend: it records every batch it is
+// handed and answers each item with an echo result whose StaticUops is
+// the request's Measure — which lets the tests verify per-item routing
+// exactly, with no simulator in the loop.
+type fakeBulk struct {
+	// block, when non-nil, is received from before answering a batch —
+	// the cancel-mid-batch tests hold flushed batches open with it.
+	block chan struct{}
+	// observe, when non-nil, sees each batch's context before answering.
+	observe func(ctx context.Context, reqs []sim.Request)
+
+	mu      sync.Mutex
+	batches [][]sim.Request
+	seen    map[uint64]int // Measure -> times dispatched
+}
+
+func newFakeBulk() *fakeBulk {
+	return &fakeBulk{seen: make(map[uint64]int)}
+}
+
+func (f *fakeBulk) Execute(ctx context.Context, req sim.Request) (*sim.Result, error) {
+	items, err := f.ExecuteBatch(ctx, []sim.Request{req})
+	if err != nil {
+		return nil, err
+	}
+	return items[0].Res, items[0].Err
+}
+
+func (f *fakeBulk) ExecuteBatch(ctx context.Context, reqs []sim.Request) ([]BatchItem, error) {
+	f.mu.Lock()
+	f.batches = append(f.batches, append([]sim.Request(nil), reqs...))
+	for _, r := range reqs {
+		f.seen[r.Measure]++
+	}
+	f.mu.Unlock()
+	if f.observe != nil {
+		f.observe(ctx, reqs)
+	}
+	if f.block != nil {
+		<-f.block
+	}
+	items := make([]BatchItem, len(reqs))
+	for i, r := range reqs {
+		items[i] = BatchItem{Res: &sim.Result{Bench: r.Bench, StaticUops: int(r.Measure)}}
+	}
+	return items, nil
+}
+
+func (f *fakeBulk) Close() error { return nil }
+
+func (f *fakeBulk) snapshot() (batches [][]sim.Request, seen map[uint64]int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	batches = append(batches, f.batches...)
+	seen = make(map[uint64]int, len(f.seen))
+	for k, v := range f.seen {
+		seen[k] = v
+	}
+	return batches, seen
+}
+
+// idReq builds a fake request whose Measure doubles as its identity.
+func idReq(id int) sim.Request {
+	return sim.Request{Bench: fmt.Sprintf("req-%d", id), Measure: uint64(id)}
+}
+
+// TestBatcherBurstCoalesces: a burst of N concurrent Executes flushes
+// into ceil(N/size) size-triggered batches, every caller receives its
+// own item's result, and no batch exceeds the size bound.
+func TestBatcherBurstCoalesces(t *testing.T) {
+	const n, size = 100, 10
+	f := newFakeBulk()
+	b := NewBatcher(f, size, time.Second)
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	results := make([]*sim.Result, n)
+	for i := range n {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = b.Execute(context.Background(), idReq(i))
+		}()
+	}
+	wg.Wait()
+
+	for i := range n {
+		if errs[i] != nil {
+			t.Fatalf("request %d failed: %v", i, errs[i])
+		}
+		if results[i] == nil || results[i].StaticUops != i {
+			t.Fatalf("request %d got someone else's result: %+v", i, results[i])
+		}
+	}
+	batches, seen := f.snapshot()
+	if len(batches) > (n+size-1)/size+1 {
+		t.Errorf("burst of %d flushed as %d batches, want at most %d", n, len(batches), (n+size-1)/size+1)
+	}
+	for _, batch := range batches {
+		if len(batch) > size {
+			t.Errorf("batch of %d items exceeds the size bound %d", len(batch), size)
+		}
+	}
+	for id, times := range seen {
+		if times != 1 {
+			t.Errorf("request %d dispatched %d times, want exactly once", id, times)
+		}
+	}
+	if st := b.Stats(); st.Items != n {
+		t.Errorf("stats count %d items, want %d", st.Items, n)
+	}
+}
+
+// TestBatcherDeadlineFlush: a trickle that never reaches the size bound
+// still completes — the MaxWait deadline flushes it.
+func TestBatcherDeadlineFlush(t *testing.T) {
+	f := newFakeBulk()
+	b := NewBatcher(f, 1000, 20*time.Millisecond)
+	defer b.Close()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := range 5 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := b.Execute(context.Background(), idReq(i))
+			if err != nil || res.StaticUops != i {
+				t.Errorf("request %d: res=%+v err=%v", i, res, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("trickle took %v, the deadline flush did not fire", elapsed)
+	}
+	st := b.Stats()
+	if st.SizeFlushes != 0 || st.DeadlineFlushes == 0 {
+		t.Errorf("want only deadline flushes, got %+v", st)
+	}
+	if st.Items != 5 {
+		t.Errorf("stats count %d items, want 5", st.Items)
+	}
+}
+
+// TestBatcherCancelBeforeFlush: a caller canceled while its item is
+// still pending gets a sim.ErrCanceled wrap and the item is withdrawn —
+// the eventual flush carries only the surviving siblings.
+func TestBatcherCancelBeforeFlush(t *testing.T) {
+	f := newFakeBulk()
+	b := NewBatcher(f, 10, 150*time.Millisecond)
+	defer b.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	canceledDone := make(chan error, 1)
+	go func() {
+		_, err := b.Execute(ctx, idReq(99))
+		canceledDone <- err
+	}()
+	// Wait until the doomed item is pending, then two survivors join.
+	for {
+		if b.Stats().Batches == 0 && len(b.pendingSnapshot()) == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var wg sync.WaitGroup
+	for i := range 2 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := b.Execute(context.Background(), idReq(i))
+			if err != nil || res.StaticUops != i {
+				t.Errorf("survivor %d: res=%+v err=%v", i, res, err)
+			}
+		}()
+	}
+	cancel()
+	err := <-canceledDone
+	if !errors.Is(err, sim.ErrCanceled) {
+		t.Errorf("canceled caller got %v, want a sim.ErrCanceled wrap", err)
+	}
+	wg.Wait()
+
+	batches, seen := f.snapshot()
+	if times := seen[99]; times != 0 {
+		t.Errorf("withdrawn item was dispatched %d times, want never", times)
+	}
+	var total int
+	for _, batch := range batches {
+		total += len(batch)
+	}
+	if total != 2 {
+		t.Errorf("backend saw %d items, want exactly the 2 survivors", total)
+	}
+}
+
+// pendingSnapshot exposes the pending count to the withdraw test.
+func (b *Batcher) pendingSnapshot() []*pendingItem {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]*pendingItem(nil), b.pending...)
+}
+
+// TestBatcherCancelMidBatch: canceling one member of an in-flight batch
+// returns that caller immediately with a typed error, does NOT cancel
+// the batch context (the siblings still need it), and the sibling still
+// gets its result. Only when every member cancels does the batch
+// context die.
+func TestBatcherCancelMidBatch(t *testing.T) {
+	f := newFakeBulk()
+	f.block = make(chan struct{})
+	batchCtx := make(chan context.Context, 1)
+	f.observe = func(ctx context.Context, _ []sim.Request) { batchCtx <- ctx }
+	b := NewBatcher(f, 2, time.Hour)
+	defer b.Close()
+
+	ctxA, cancelA := context.WithCancel(context.Background())
+	defer cancelA()
+	aDone := make(chan error, 1)
+	bDone := make(chan *sim.Result, 1)
+	go func() {
+		_, err := b.Execute(ctxA, idReq(1))
+		aDone <- err
+	}()
+	go func() {
+		res, err := b.Execute(context.Background(), idReq(2))
+		if err != nil {
+			t.Errorf("sibling failed: %v", err)
+		}
+		bDone <- res
+	}()
+
+	bctx := <-batchCtx // the batch is in flight and blocked
+	cancelA()
+	select {
+	case err := <-aDone:
+		if !errors.Is(err, sim.ErrCanceled) {
+			t.Errorf("canceled member got %v, want a sim.ErrCanceled wrap", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled member did not return while its batch was still running")
+	}
+	if bctx.Err() != nil {
+		t.Error("batch context canceled while a member is still waiting")
+	}
+
+	close(f.block) // let the batch finish
+	select {
+	case res := <-bDone:
+		if res == nil || res.StaticUops != 2 {
+			t.Errorf("sibling got %+v, want its own result", res)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("sibling never got its result")
+	}
+}
+
+// TestBatcherAllCanceledKillsBatchContext: the batch context dies once
+// every member has canceled — that is the only thing that may abort an
+// in-flight batch.
+func TestBatcherAllCanceledKillsBatchContext(t *testing.T) {
+	f := newFakeBulk()
+	f.block = make(chan struct{})
+	defer close(f.block)
+	batchCtx := make(chan context.Context, 1)
+	f.observe = func(ctx context.Context, _ []sim.Request) { batchCtx <- ctx }
+	b := NewBatcher(f, 2, time.Hour)
+	defer b.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := range 2 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := b.Execute(ctx, idReq(i)); !errors.Is(err, sim.ErrCanceled) {
+				t.Errorf("member %d got %v, want a sim.ErrCanceled wrap", i, err)
+			}
+		}()
+	}
+	bctx := <-batchCtx
+	cancel()
+	wg.Wait()
+	select {
+	case <-bctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("batch context still alive after every member canceled")
+	}
+}
+
+// TestBatcherPoisonedItemIsolated: one invalid request inside a batch
+// comes back as that item's typed error — reachable via errors.Is —
+// while every sibling carries its result. Exercised over the real
+// in-process bulk path (batched local backend).
+func TestBatcherPoisonedItemIsolated(t *testing.T) {
+	b := NewBatcher(Local{}, 4, 50*time.Millisecond)
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range 3 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := b.Execute(context.Background(), smallReq("crafty", 50+uint64(i)))
+			if err != nil {
+				t.Errorf("good request %d failed: %v", i, err)
+			} else if res == nil || res.S.Committed == 0 {
+				t.Errorf("good request %d got an empty result", i)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, errs[3] = b.Execute(context.Background(), smallReq("no-such-bench", 50))
+	}()
+	wg.Wait()
+	if !errors.Is(errs[3], sim.ErrUnknownBenchmark) {
+		t.Errorf("poisoned item got %v, want a sim.ErrUnknownBenchmark wrap", errs[3])
+	}
+}
+
+// TestBatcherPoolPoisonedItem runs the same isolation property over the
+// subprocess pool: the bad item's typed error crosses the batch frame
+// in-band, siblings get results, and no worker crashes.
+func TestBatcherPoolPoisonedItem(t *testing.T) {
+	pool := NewPool(2)
+	b := NewBatcher(pool, 3, 50*time.Millisecond)
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	var badErr error
+	for i := range 2 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := b.Execute(context.Background(), smallReq("crafty", 60+uint64(i)))
+			if err != nil {
+				t.Errorf("good request %d failed: %v", i, err)
+			} else if res == nil || res.S.Committed == 0 {
+				t.Errorf("good request %d got an empty result", i)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, badErr = b.Execute(context.Background(), smallReq("no-such-bench", 60))
+	}()
+	wg.Wait()
+	if !errors.Is(badErr, sim.ErrUnknownBenchmark) {
+		t.Errorf("poisoned item got %v, want a sim.ErrUnknownBenchmark wrap", badErr)
+	}
+	if st := pool.Stats(); st.Crashes != 0 {
+		t.Errorf("a typed per-item error crashed workers: %+v", st)
+	}
+}
+
+// TestBatcherRandomizedArrivals is the property test: randomized arrival
+// gaps, random cancellations, a deliberately awkward size/wait pair.
+// Invariants: every batch respects the size bound; no request is ever
+// dispatched twice; every caller that completed normally got exactly its
+// own result; every canceled caller got either its own result (the
+// cancel lost the race) or a sim.ErrCanceled wrap — never a sibling's
+// result, never a foreign error.
+func TestBatcherRandomizedArrivals(t *testing.T) {
+	const n, size = 200, 8
+	rng := rand.New(rand.NewSource(1))
+	f := newFakeBulk()
+	b := NewBatcher(f, size, 2*time.Millisecond)
+	defer b.Close()
+
+	type outcome struct {
+		res      *sim.Result
+		err      error
+		canceled bool
+	}
+	outcomes := make([]outcome, n)
+	var wg sync.WaitGroup
+	for i := range n {
+		delay := time.Duration(rng.Intn(3000)) * time.Microsecond
+		doCancel := rng.Intn(10) == 0
+		cancelAfter := time.Duration(rng.Intn(2000)) * time.Microsecond
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			time.Sleep(delay)
+			ctx := context.Background()
+			if doCancel {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithCancel(ctx)
+				timer := time.AfterFunc(cancelAfter, cancel)
+				defer timer.Stop()
+				defer cancel()
+			}
+			res, err := b.Execute(ctx, idReq(i))
+			outcomes[i] = outcome{res: res, err: err, canceled: doCancel}
+		}()
+	}
+	wg.Wait()
+
+	for i, o := range outcomes {
+		switch {
+		case o.err == nil:
+			if o.res == nil || o.res.StaticUops != i {
+				t.Fatalf("caller %d got someone else's result: %+v", i, o.res)
+			}
+		case errors.Is(o.err, sim.ErrCanceled):
+			if !o.canceled {
+				t.Fatalf("caller %d was never canceled but got %v", i, o.err)
+			}
+		default:
+			t.Fatalf("caller %d got unexpected error %v", i, o.err)
+		}
+	}
+	batches, seen := f.snapshot()
+	for _, batch := range batches {
+		if len(batch) > size {
+			t.Errorf("batch of %d items exceeds the size bound %d", len(batch), size)
+		}
+	}
+	for id, times := range seen {
+		if times != 1 {
+			t.Errorf("request %d dispatched %d times, want exactly once", id, times)
+		}
+	}
+}
+
+// TestBatcherNoGoroutineLeaks: a workload with bursts, trickles and
+// cancellations leaves no goroutines behind once the batcher is closed.
+func TestBatcherNoGoroutineLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	f := newFakeBulk()
+	b := NewBatcher(f, 7, time.Millisecond)
+	var wg sync.WaitGroup
+	for i := range 100 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := context.Background()
+			if i%5 == 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithCancel(ctx)
+				cancel()
+			}
+			b.Execute(ctx, idReq(i)) //nolint:errcheck // outcomes covered elsewhere
+		}()
+	}
+	wg.Wait()
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after close", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestBatcherClosedRefuses: Execute after Close fails fast instead of
+// queueing into a batch that will never flush.
+func TestBatcherClosedRefuses(t *testing.T) {
+	b := NewBatcher(newFakeBulk(), 4, time.Millisecond)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Execute(context.Background(), idReq(1)); err == nil {
+		t.Fatal("Execute on a closed batcher succeeded")
+	}
+}
+
+// TestNewBatchedSpec: the batched: backend spec composes with every
+// bulk-capable backend and refuses the rest.
+func TestNewBatchedSpec(t *testing.T) {
+	for _, spec := range []string{"batched:local", "batched:pool:2"} {
+		be, err := New(spec)
+		if err != nil {
+			t.Fatalf("New(%q): %v", spec, err)
+		}
+		bb, ok := be.(*Batcher)
+		if !ok {
+			t.Fatalf("New(%q) returned %T, want *Batcher", spec, be)
+		}
+		res, err := bb.Execute(context.Background(), smallReq("crafty", 50))
+		if err != nil || res == nil {
+			t.Fatalf("New(%q).Execute: res=%v err=%v", spec, res, err)
+		}
+		bb.Close()
+	}
+	if _, err := New("batched:batched:local"); err == nil {
+		t.Fatal("New accepted a doubly-batched spec")
+	}
+	if _, err := New("batched:nonsense"); err == nil {
+		t.Fatal("New accepted batched: over an unknown backend")
+	}
+}

@@ -1,0 +1,296 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"repro/internal/sim"
+)
+
+// The client side of store federation: HTTP.Sync reconciles a local
+// result store with a regshared service's store through the Merkle
+// manifest (sim.Manifest). The walk exchanges hashes, not entry lists —
+// one root comparison when the stores agree, O(log n) node fetches down
+// to the differing shards when they do not — and then transfers only
+// the envelopes one side is missing, in both directions: pulls via
+// GET /v1/store/{name}, pushes via POST /v1/sync. Every transferred
+// envelope crosses verbatim and is re-validated by the receiving store
+// (sim.Store.PutRaw), which is what lets the two roots converge to
+// byte-equality afterwards.
+
+// SyncStats reports what one Sync call did.
+type SyncStats struct {
+	// InSync is true when the roots already matched: the whole
+	// reconciliation was the one summary exchange.
+	InSync bool
+	// HashExchanges counts Merkle exchanges: the manifest summary plus
+	// one per tree node fetched during the walk. A single differing
+	// shard costs exactly 1 + sim.ManifestHeight.
+	HashExchanges int
+	// ShardsDiffer counts leaves the walk found to disagree.
+	ShardsDiffer int
+	// Pulled / PullRejected count envelopes fetched from the peer and
+	// stored locally, or refused by the local store's validation.
+	Pulled       int
+	PullRejected int
+	// Pushed / PushRejected count envelopes sent to the peer and
+	// accepted, or refused by its validation.
+	Pushed       int
+	PushRejected int
+}
+
+// Manifest fetches the service's Merkle summary and verifies it speaks
+// this client's manifest schema and tree shape.
+func (h *HTTP) Manifest(ctx context.Context) (ManifestSummary, error) {
+	var ms ManifestSummary
+	if err := h.getJSON(ctx, "/v1/manifest", &ms); err != nil {
+		return ManifestSummary{}, err
+	}
+	if ms.Schema != sim.ManifestSchema || ms.Height != sim.ManifestHeight {
+		return ManifestSummary{}, fmt.Errorf("dispatch: %s serves manifest schema %q height %d, this client speaks %q height %d",
+			h.base, ms.Schema, ms.Height, sim.ManifestSchema, sim.ManifestHeight)
+	}
+	return ms, nil
+}
+
+// Sync reconciles store with the service's store and returns what it
+// took. Entries present on both sides under the same name are never
+// transferred; an entry whose name exists on both sides with different
+// content (which deterministic same-version simulators cannot produce)
+// is left alone on both — surfacing as roots that refuse to converge
+// rather than as either side silently overwriting the other.
+func (h *HTTP) Sync(ctx context.Context, store *sim.Store) (*SyncStats, error) {
+	local, err := store.Manifest()
+	if err != nil {
+		return nil, err
+	}
+	st := &SyncStats{}
+	remote, err := h.Manifest(ctx)
+	if err != nil {
+		return nil, err
+	}
+	st.HashExchanges++
+	if comparableSimver(remote.SimVersion) && comparableSimver(local.SimVersion) && remote.SimVersion != local.SimVersion {
+		return nil, fmt.Errorf("dispatch: %s federates simulator version %s, this store holds %s: refusing to mix results",
+			h.base, remote.SimVersion, local.SimVersion)
+	}
+	if remote.Root == local.Root {
+		st.InSync = true
+		return st, nil
+	}
+
+	differ, err := h.diffWalk(ctx, local, st)
+	if err != nil {
+		return nil, err
+	}
+	st.ShardsDiffer = len(differ)
+	for _, shard := range differ {
+		if err := h.syncShard(ctx, store, shard, st); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// diffWalk descends the Merkle tree from the (already known to differ)
+// root, fetching one remote node per disagreeing interior node and
+// comparing its child hashes against the local tree, and returns the
+// disagreeing shard names. Agreeing subtrees are never entered, which
+// is the whole point: the walk's exchange count is proportional to the
+// differing leaves times the height, not to the shard count.
+func (h *HTTP) diffWalk(ctx context.Context, local *sim.Manifest, st *SyncStats) ([]string, error) {
+	var differ []string
+	var walk func(path string) error
+	walk = func(path string) error {
+		rn, err := h.manifestNode(ctx, path)
+		if err != nil {
+			return err
+		}
+		st.HashExchanges++
+		ln, err := local.Node(path)
+		if err != nil {
+			return err
+		}
+		if len(rn.Children) != 2 || len(ln.Children) != 2 {
+			return fmt.Errorf("dispatch: %s: manifest node %q carries %d children, want 2", h.base, path, len(rn.Children))
+		}
+		for c := 0; c < 2; c++ {
+			if rn.Children[c] == ln.Children[c] {
+				continue
+			}
+			child := path + string('0'+byte(c))
+			if len(child) == sim.ManifestHeight {
+				leaf, err := local.Node(child)
+				if err != nil {
+					return err
+				}
+				differ = append(differ, leaf.Shard)
+				continue
+			}
+			if err := walk(child); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(""); err != nil {
+		return nil, err
+	}
+	return differ, nil
+}
+
+// syncShard reconciles one differing shard: exchange the two entry
+// lists, pull the envelopes only the peer has, push the ones only we
+// have.
+func (h *HTTP) syncShard(ctx context.Context, store *sim.Store, shard string, st *SyncStats) error {
+	remoteEntries, err := h.shardList(ctx, shard)
+	if err != nil {
+		return err
+	}
+	localEntries, err := store.ShardList(shard)
+	if err != nil {
+		return err
+	}
+	localByName := make(map[string]string, len(localEntries))
+	for _, e := range localEntries {
+		localByName[e.Name] = e.Digest
+	}
+	remoteByName := make(map[string]string, len(remoteEntries))
+	for _, e := range remoteEntries {
+		remoteByName[e.Name] = e.Digest
+	}
+	for _, re := range remoteEntries {
+		if _, ok := localByName[re.Name]; ok {
+			continue
+		}
+		data, err := h.fetchRaw(ctx, re.Name)
+		if err != nil {
+			return err
+		}
+		if _, err := store.PutRaw(data); err != nil {
+			st.PullRejected++
+			continue
+		}
+		st.Pulled++
+	}
+	var push []json.RawMessage
+	for _, le := range localEntries {
+		if _, ok := remoteByName[le.Name]; ok {
+			continue
+		}
+		data, err := store.ReadRaw(le.Name)
+		if err != nil {
+			continue // deleted underneath us; the next sync settles it
+		}
+		push = append(push, json.RawMessage(data))
+	}
+	if len(push) > 0 {
+		reply, err := h.pushSync(ctx, push)
+		if err != nil {
+			return err
+		}
+		st.Pushed += reply.Stored
+		st.PushRejected += reply.Rejected
+	}
+	return nil
+}
+
+// manifestNode fetches one Merkle tree node by path.
+func (h *HTTP) manifestNode(ctx context.Context, path string) (sim.ManifestNode, error) {
+	var n sim.ManifestNode
+	if err := h.getJSON(ctx, "/v1/manifest/node?path="+url.QueryEscape(path), &n); err != nil {
+		return sim.ManifestNode{}, err
+	}
+	return n, nil
+}
+
+// shardList fetches one shard's entry list.
+func (h *HTTP) shardList(ctx context.Context, shard string) ([]sim.ShardEntry, error) {
+	var sl shardListing
+	if err := h.getJSON(ctx, "/v1/manifest/shard/"+url.PathEscape(shard), &sl); err != nil {
+		return nil, err
+	}
+	return sl.Entries, nil
+}
+
+// fetchRaw fetches one envelope's verbatim bytes.
+func (h *HTTP) fetchRaw(ctx context.Context, name string) ([]byte, error) {
+	hreq, err := h.newRequest(ctx, http.MethodGet, "/v1/store/"+url.PathEscape(name), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := h.client.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: %s: %w", h.base, err)
+	}
+	defer resp.Body.Close()
+	if err := h.checkSimver(resp); err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeHTTPError(resp)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRequestBody))
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: reading store entry %s from %s: %w", name, h.base, err)
+	}
+	return data, nil
+}
+
+// pushSync sends envelopes the peer is missing.
+func (h *HTTP) pushSync(ctx context.Context, envs []json.RawMessage) (syncReply, error) {
+	body, err := json.Marshal(syncPush{Envelopes: envs})
+	if err != nil {
+		return syncReply{}, fmt.Errorf("dispatch: encoding sync push: %w", err)
+	}
+	hreq, err := h.newRequest(ctx, http.MethodPost, "/v1/sync", bytes.NewReader(body))
+	if err != nil {
+		return syncReply{}, err
+	}
+	resp, err := h.client.Do(hreq)
+	if err != nil {
+		return syncReply{}, fmt.Errorf("dispatch: %s: %w", h.base, err)
+	}
+	defer resp.Body.Close()
+	if err := h.checkSimver(resp); err != nil {
+		return syncReply{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return syncReply{}, decodeHTTPError(resp)
+	}
+	var reply syncReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return syncReply{}, fmt.Errorf("dispatch: decoding sync reply from %s: %w", h.base, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return reply, nil
+}
+
+// getJSON fetches path and decodes the JSON response.
+func (h *HTTP) getJSON(ctx context.Context, path string, v any) error {
+	hreq, err := h.newRequest(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := h.client.Do(hreq)
+	if err != nil {
+		return fmt.Errorf("dispatch: %s: %w", h.base, err)
+	}
+	defer resp.Body.Close()
+	if err := h.checkSimver(resp); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return decodeHTTPError(resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		return fmt.Errorf("dispatch: decoding %s from %s: %w", path, h.base, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}

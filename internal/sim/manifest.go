@@ -1,0 +1,368 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// The Merkle manifest over the sharded content-addressed store: a
+// versioned tree whose 256 leaves are shard digests, so two hosts can
+// decide whether their stores agree by comparing one root hash, and —
+// when they disagree — find the differing shards by walking down the
+// tree exchanging O(log n) hashes instead of full entry lists. The
+// manifest is computed over the raw envelope bytes on disk: envelopes
+// are written deterministically (MarshalIndent of a fixed header plus
+// the Result), so two stores holding the same results under the same
+// simulator version are byte-identical and hash to the same root.
+//
+// internal/dispatch serves the tree over GET /v1/manifest (summary),
+// GET /v1/manifest/node (one tree node with its child hashes) and
+// GET /v1/manifest/shard/{shard} (one leaf's entry list), and accepts
+// missing envelopes over POST /v1/sync; HTTP.Sync is the client-side
+// diff walk.
+
+// ManifestSchema tags the manifest wire layout. Bump it when the tree
+// shape or digest recipe changes incompatibly.
+const ManifestSchema = "m1"
+
+// ShardCount is the store's fixed directory fan-out: entries shard by
+// the first byte of their key digest.
+const ShardCount = 256
+
+// ManifestHeight is the depth of the binary Merkle tree over the
+// shards: 2^ManifestHeight == ShardCount, so a root-to-leaf walk
+// crosses ManifestHeight levels.
+const ManifestHeight = 8
+
+// ShardEntry names one store file inside a manifest leaf: the entry's
+// file stem (the 64-hex SHA-256 of its sim.Key) and the SHA-256 of the
+// file's raw bytes. Name addresses the entry; Digest changes whenever
+// the envelope's content does.
+//
+//repro:wire
+type ShardEntry struct {
+	Name   string `json:"name"`
+	Digest string `json:"digest"`
+}
+
+// Manifest is one store's full Merkle state: the 256 leaf (shard)
+// digests in shard order plus the root they hash up to. Interior nodes
+// are derived on demand (see Node), so only the leaves travel when a
+// whole manifest is exchanged; the summary endpoints ship just the
+// root.
+//
+//repro:wire
+type Manifest struct {
+	Schema     string   `json:"schema"`
+	SimVersion string   `json:"sim_version"`
+	Root       string   `json:"root"`
+	Height     int      `json:"height"`
+	Entries    int      `json:"entries"`
+	Shards     []string `json:"shards"`
+}
+
+// ManifestNode is one node of the Merkle tree, addressed by its
+// root-to-node path as a string of '0'/'1' branch choices (empty =
+// root). Interior nodes carry their two child hashes — which is what
+// lets a diff walk descend one level per exchange — and leaves carry
+// the shard directory name their digest summarizes.
+//
+//repro:wire
+type ManifestNode struct {
+	Path     string   `json:"path"`
+	Hash     string   `json:"hash"`
+	Children []string `json:"children,omitempty"`
+	Shard    string   `json:"shard,omitempty"`
+}
+
+// shardName returns the shard directory name for shard index i.
+func shardName(i int) string {
+	return fmt.Sprintf("%02x", i)
+}
+
+// emptyShardDigest is the digest of a shard with no entries: the hash
+// of the empty entry list. A missing shard directory and an empty one
+// are deliberately indistinguishable.
+func emptyShardDigest() string {
+	h := sha256.Sum256(nil)
+	return hex.EncodeToString(h[:])
+}
+
+// hashPair combines two child hashes into their parent's.
+func hashPair(left, right string) string {
+	h := sha256.Sum256([]byte(left + right))
+	return hex.EncodeToString(h[:])
+}
+
+// merkleRoot folds the 256 shard digests up to the root.
+func merkleRoot(shards []string) string {
+	level := append([]string(nil), shards...)
+	for len(level) > 1 {
+		next := level[:len(level)/2]
+		for i := range next {
+			next[i] = hashPair(level[2*i], level[2*i+1])
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// isHex reports whether s is exactly n lowercase-hex characters.
+func isHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Node derives the tree node at path: '0' descends left (lower shard
+// indices), '1' right; the empty path is the root. Interior nodes
+// return both child hashes; a full-height path returns the leaf with
+// its shard name.
+func (m *Manifest) Node(path string) (ManifestNode, error) {
+	if len(m.Shards) != ShardCount {
+		return ManifestNode{}, fmt.Errorf("sim: manifest has %d shard digests, want %d", len(m.Shards), ShardCount)
+	}
+	if len(path) > ManifestHeight {
+		return ManifestNode{}, fmt.Errorf("sim: manifest path %q longer than the tree height %d", path, ManifestHeight)
+	}
+	idx := 0
+	for i := 0; i < len(path); i++ {
+		switch path[i] {
+		case '0':
+			idx = idx * 2
+		case '1':
+			idx = idx*2 + 1
+		default:
+			return ManifestNode{}, fmt.Errorf("sim: manifest path %q: want only '0' and '1'", path)
+		}
+	}
+	if len(path) == ManifestHeight {
+		return ManifestNode{Path: path, Hash: m.Shards[idx], Shard: shardName(idx)}, nil
+	}
+	left := m.subtree(idx*2, len(path)+1)
+	right := m.subtree(idx*2+1, len(path)+1)
+	return ManifestNode{Path: path, Hash: hashPair(left, right), Children: []string{left, right}}, nil
+}
+
+// subtree computes the hash of the node at (index idx, depth) by
+// folding its leaf range.
+func (m *Manifest) subtree(idx, depth int) string {
+	width := 1 << (ManifestHeight - depth)
+	lo := idx * width
+	if width == 1 {
+		return m.Shards[lo]
+	}
+	return merkleRoot(m.Shards[lo : lo+width])
+}
+
+// DecodeManifest parses and validates a full manifest: the schema and
+// tree shape must match this code's, every shard digest must be a
+// 64-hex string, and the root must equal the recomputation from the
+// leaves — a manifest whose root disagrees with its own shards is
+// corrupt or forged and must not steer a sync walk.
+func DecodeManifest(data []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("sim: decoding manifest: %w", err)
+	}
+	if m.Schema != ManifestSchema {
+		return nil, fmt.Errorf("sim: manifest schema %q, want %q", m.Schema, ManifestSchema)
+	}
+	if m.Height != ManifestHeight {
+		return nil, fmt.Errorf("sim: manifest height %d, want %d", m.Height, ManifestHeight)
+	}
+	if len(m.Shards) != ShardCount {
+		return nil, fmt.Errorf("sim: manifest has %d shard digests, want %d", len(m.Shards), ShardCount)
+	}
+	for i, d := range m.Shards {
+		if !isHex(d, 64) {
+			return nil, fmt.Errorf("sim: manifest shard %s digest %q is not 64-hex", shardName(i), d)
+		}
+	}
+	if m.Entries < 0 {
+		return nil, fmt.Errorf("sim: manifest entry count %d is negative", m.Entries)
+	}
+	if root := merkleRoot(m.Shards); m.Root != root {
+		return nil, fmt.Errorf("sim: manifest root %q does not match its shard digests (want %q)", m.Root, root)
+	}
+	return &m, nil
+}
+
+// Manifest computes the store's current Merkle manifest. Shard digests
+// are cached per shard and revalidated against the shard directory's
+// mtime, so the first call scans the whole store and later calls
+// re-read only shards that changed — including changes made by other
+// processes sharing the directory, which is what lets a long-running
+// service answer manifest walks cheaply while a sync pushes entries
+// underneath it.
+func (s *Store) Manifest() (*Manifest, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := &Manifest{
+		Schema:     ManifestSchema,
+		SimVersion: cacheVersion(),
+		Height:     ManifestHeight,
+		Shards:     make([]string, ShardCount),
+	}
+	for i := 0; i < ShardCount; i++ {
+		entries, digest, err := s.shardStateLocked(shardName(i))
+		if err != nil {
+			return nil, err
+		}
+		m.Shards[i] = digest
+		m.Entries += len(entries)
+	}
+	m.Root = merkleRoot(m.Shards)
+	return m, nil
+}
+
+// ShardList returns the entries of one shard (by its two-hex directory
+// name), sorted by entry name — one Merkle leaf's preimage, which is
+// what two hosts exchange for the few shards a diff walk found to
+// differ.
+func (s *Store) ShardList(shard string) ([]ShardEntry, error) {
+	if !isHex(shard, 2) {
+		return nil, fmt.Errorf("sim: bad shard name %q: want two hex characters", shard)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries, _, err := s.shardStateLocked(shard)
+	if err != nil {
+		return nil, err
+	}
+	return append([]ShardEntry(nil), entries...), nil
+}
+
+// ReadRaw returns the raw envelope bytes of the entry named name (the
+// 64-hex key digest), exactly as stored — the transfer unit of a sync.
+// A missing entry returns an error wrapping fs.ErrNotExist.
+func (s *Store) ReadRaw(name string) ([]byte, error) {
+	if !isHex(name, 64) {
+		return nil, fmt.Errorf("sim: bad entry name %q: want 64 hex characters", name)
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, name[:2], name+".json"))
+	if err != nil {
+		return nil, fmt.Errorf("sim: reading store entry %s: %w", name, err)
+	}
+	return data, nil
+}
+
+// PutRaw stores one envelope received from a peer after validating its
+// integrity: the bytes must parse as a store envelope of this store's
+// schema and this process's simulator version, and must carry a
+// completed result under a key whose digest determines — and therefore
+// proves — the entry's name. The accepted envelope is re-encoded in the
+// same canonical form Put writes, so the bytes on disk — and with them
+// the shard digests and the Merkle root — do not depend on how the
+// transport formatted the JSON in flight. The validated name is
+// returned; writing is the same atomic temp+rename as Put, so
+// concurrent readers never observe partial entries.
+func (s *Store) PutRaw(data []byte) (string, error) {
+	var e envelope
+	if err := json.Unmarshal(data, &e); err != nil {
+		return "", fmt.Errorf("sim: sync envelope does not parse: %w", err)
+	}
+	if e.Schema != storeSchema {
+		return "", fmt.Errorf("sim: sync envelope schema %q, want %q", e.Schema, storeSchema)
+	}
+	if e.SimVersion != cacheVersion() {
+		return "", fmt.Errorf("sim: sync envelope from simulator version %q, this process is %q: refusing foreign results", e.SimVersion, cacheVersion())
+	}
+	if e.Key == "" || e.Result == nil {
+		return "", errors.New("sim: sync envelope carries no key or no result")
+	}
+	canonical, err := json.MarshalIndent(e, "", " ")
+	if err != nil {
+		return "", err
+	}
+	d := sha256.Sum256([]byte(e.Key))
+	name := hex.EncodeToString(d[:])
+	if err := s.writeEntry(filepath.Join(s.dir, name[:2], name+".json"), canonical); err != nil {
+		return "", err
+	}
+	s.invalidate(name[:2])
+	return name, nil
+}
+
+// shardStateLocked returns one shard's sorted entry list and digest,
+// served from the per-shard cache when the shard directory's mtime is
+// unchanged since the cached scan. Callers hold s.mu.
+func (s *Store) shardStateLocked(shard string) ([]ShardEntry, string, error) {
+	dir := filepath.Join(s.dir, shard)
+	st, err := os.Stat(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, emptyShardDigest(), nil
+		}
+		return nil, "", fmt.Errorf("sim: stat shard %s: %w", shard, err)
+	}
+	if c, ok := s.shards[shard]; ok && c.valid && c.mtime.Equal(st.ModTime()) {
+		return c.entries, c.digest, nil
+	}
+	// Read the mtime before scanning: a write landing mid-scan bumps it
+	// past this value, so the next Manifest call rescans — conservative,
+	// never stale.
+	mtime := st.ModTime()
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, "", fmt.Errorf("sim: reading shard %s: %w", shard, err)
+	}
+	var entries []ShardEntry
+	h := sha256.New()
+	for _, de := range des { // ReadDir sorts by name
+		stem := strings.TrimSuffix(de.Name(), ".json")
+		if len(stem) == len(de.Name()) || !isHex(stem, 64) {
+			continue // temp files and foreign droppings are not entries
+		}
+		data, err := os.ReadFile(filepath.Join(dir, de.Name()))
+		if err != nil {
+			continue // deleted mid-scan: the mtime bump forces a rescan
+		}
+		d := sha256.Sum256(data)
+		e := ShardEntry{Name: stem, Digest: hex.EncodeToString(d[:])}
+		entries = append(entries, e)
+		h.Write([]byte(e.Name + " " + e.Digest + "\n"))
+	}
+	digest := hex.EncodeToString(h.Sum(nil))
+	if s.shards == nil {
+		s.shards = make(map[string]*shardCache)
+	}
+	s.shards[shard] = &shardCache{mtime: mtime, digest: digest, entries: entries, valid: true}
+	return entries, digest, nil
+}
+
+// invalidate drops the shard's cached digest after a local write.
+func (s *Store) invalidate(shard string) {
+	s.mu.Lock()
+	if c, ok := s.shards[shard]; ok {
+		c.valid = false
+	}
+	s.mu.Unlock()
+}
+
+// ParseShardIndex converts a shard directory name back to its index —
+// the inverse of the naming the manifest leaves use.
+func ParseShardIndex(shard string) (int, error) {
+	if !isHex(shard, 2) {
+		return 0, fmt.Errorf("sim: bad shard name %q: want two hex characters", shard)
+	}
+	n, err := strconv.ParseInt(shard, 16, 32)
+	if err != nil {
+		return 0, fmt.Errorf("sim: bad shard name %q: %w", shard, err)
+	}
+	return int(n), nil
+}

@@ -1,0 +1,439 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// putKeys writes one distinct result per key into s.
+func putKeys(t *testing.T, s *Store, keys []string) {
+	t.Helper()
+	for _, k := range keys {
+		if err := s.Put(k, storeResult(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// keyShard returns the shard directory name a key's entry lands in.
+func keyShard(s *Store, key string) string {
+	return filepath.Base(filepath.Dir(s.Path(key)))
+}
+
+// diffShards walks two manifests' trees from the root — the local mirror
+// of the HTTP sync walk — and returns the disagreeing leaf shards.
+func diffShards(t *testing.T, a, b *Manifest) map[string]bool {
+	t.Helper()
+	differ := map[string]bool{}
+	var walk func(path string)
+	walk = func(path string) {
+		na, err := a.Node(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nb, err := b.Node(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if na.Hash == nb.Hash {
+			return
+		}
+		if len(path) == ManifestHeight {
+			differ[na.Shard] = true
+			return
+		}
+		walk(path + "0")
+		walk(path + "1")
+	}
+	walk("")
+	return differ
+}
+
+// TestManifestEmptyStore: an empty (even nonexistent) store has a
+// well-defined manifest — 256 empty-shard leaves — and it round-trips
+// through DecodeManifest.
+func TestManifestEmptyStore(t *testing.T) {
+	s := NewStore(filepath.Join(t.TempDir(), "never-created"))
+	m, err := s.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Entries != 0 {
+		t.Fatalf("empty store manifest counts %d entries", m.Entries)
+	}
+	for i, d := range m.Shards {
+		if d != emptyShardDigest() {
+			t.Fatalf("shard %d of an empty store has digest %q", i, d)
+		}
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Root != m.Root {
+		t.Fatalf("decode changed the root: %q vs %q", back.Root, m.Root)
+	}
+}
+
+// TestManifestDeterministicAcrossStores: two stores holding the same
+// results are byte-identical on disk and therefore share one root —
+// the convergence property federation rests on.
+func TestManifestDeterministicAcrossStores(t *testing.T) {
+	keys := []string{"a-1", "b-2", "c-3", "d-4", "e-5"}
+	s1 := NewStore(t.TempDir())
+	s2 := NewStore(t.TempDir())
+	putKeys(t, s1, keys)
+	// Different insertion order must not matter.
+	for i := len(keys) - 1; i >= 0; i-- {
+		if err := s2.Put(keys[i], storeResult(keys[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m1, err := s1.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := s2.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Root != m2.Root {
+		t.Fatalf("same results, different roots:\n%q\n%q", m1.Root, m2.Root)
+	}
+	if m1.Entries != len(keys) || m2.Entries != len(keys) {
+		t.Fatalf("entry counts %d/%d, want %d", m1.Entries, m2.Entries, len(keys))
+	}
+}
+
+// TestManifestRootFlipsOnMutation: changing any single envelope's bytes
+// flips its shard digest and the root; every other leaf is untouched.
+// Each manifest is computed on a fresh Store handle: the mutation here
+// rewrites a file in place, which no legitimate writer does (writes are
+// temp+rename, which bumps the shard directory mtime the cache keys on).
+func TestManifestRootFlipsOnMutation(t *testing.T) {
+	s := NewStore(t.TempDir())
+	keys := []string{"k-0", "k-1", "k-2", "k-3", "k-4", "k-5", "k-6", "k-7"}
+	putKeys(t, s, keys)
+	before, err := s.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, key := range keys {
+		path := s.Path(key)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Flip one byte in the envelope body.
+		mutated := []byte(strings.Replace(string(data), `"schema"`, `"sChema"`, 1))
+		if err := os.WriteFile(path, mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		after, err := NewStore(s.Dir()).Manifest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after.Root == before.Root {
+			t.Fatalf("mutating the entry for %q did not flip the root", key)
+		}
+		shard := keyShard(s, key)
+		for i, d := range after.Shards {
+			name := shardName(i)
+			if name == shard {
+				if d == before.Shards[i] {
+					t.Fatalf("mutating %q did not flip its shard %s digest", key, shard)
+				}
+				continue
+			}
+			if d != before.Shards[i] {
+				t.Fatalf("mutating %q in shard %s also flipped shard %s", key, shard, name)
+			}
+		}
+		// Restore for the next iteration.
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	restored, err := NewStore(s.Dir()).Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Root != before.Root {
+		t.Fatal("restoring the original bytes did not restore the root")
+	}
+}
+
+// TestManifestDiffFindsSymmetricDifference is the federation property
+// test: over randomized two-host populations, the Merkle diff walk
+// finds exactly the shards holding the symmetric difference of the two
+// stores — never a shard both sides agree on, never missing one they
+// do not.
+func TestManifestDiffFindsSymmetricDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := range 10 {
+		a := NewStore(t.TempDir())
+		b := NewStore(t.TempDir())
+		nCommon, nA, nB := rng.Intn(30), rng.Intn(12), rng.Intn(12)
+		expect := map[string]bool{}
+		for i := range nCommon {
+			key := fmt.Sprintf("common-%d-%d", round, i)
+			putKeys(t, a, []string{key})
+			putKeys(t, b, []string{key})
+		}
+		for i := range nA {
+			key := fmt.Sprintf("only-a-%d-%d", round, i)
+			putKeys(t, a, []string{key})
+			expect[keyShard(a, key)] = true
+		}
+		for i := range nB {
+			key := fmt.Sprintf("only-b-%d-%d", round, i)
+			putKeys(t, b, []string{key})
+			expect[keyShard(b, key)] = true
+		}
+		// A shard can host both a common key and an only-X key; the diff
+		// must still flag it (handled above: expect is keyed by shard).
+		ma, err := a.Manifest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb, err := b.Manifest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := diffShards(t, ma, mb)
+		if len(got) != len(expect) {
+			t.Fatalf("round %d: diff found shards %v, want %v", round, got, expect)
+		}
+		for shard := range expect {
+			if !got[shard] {
+				t.Fatalf("round %d: diff missed differing shard %s", round, shard)
+			}
+		}
+		if (len(expect) == 0) != (ma.Root == mb.Root) {
+			t.Fatalf("round %d: root equality %v disagrees with %d differing shards",
+				round, ma.Root == mb.Root, len(expect))
+		}
+	}
+}
+
+// TestManifestNodeConsistency: every interior node's hash is the hash
+// of its children, leaf hashes are the shard digests, and the empty
+// path is the root — so a walk can trust any node it fetched.
+func TestManifestNodeConsistency(t *testing.T) {
+	s := NewStore(t.TempDir())
+	putKeys(t, s, []string{"x-1", "y-2", "z-3"})
+	m, err := s.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := m.Node("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Hash != m.Root {
+		t.Fatalf("Node(\"\") hash %q != manifest root %q", root.Hash, m.Root)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for range 200 {
+		path := ""
+		for range rng.Intn(ManifestHeight) {
+			path += string('0' + byte(rng.Intn(2)))
+		}
+		n, err := m.Node(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(path) == ManifestHeight {
+			continue
+		}
+		if len(n.Children) != 2 {
+			t.Fatalf("interior node %q has %d children", path, len(n.Children))
+		}
+		if hashPair(n.Children[0], n.Children[1]) != n.Hash {
+			t.Fatalf("node %q hash is not the hash of its children", path)
+		}
+		left, err := m.Node(path + "0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if left.Hash != n.Children[0] {
+			t.Fatalf("node %q left child hash mismatch", path)
+		}
+	}
+	for i, d := range m.Shards {
+		path := fmt.Sprintf("%08b", i)
+		leaf, err := m.Node(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if leaf.Hash != d || leaf.Shard != shardName(i) {
+			t.Fatalf("leaf %q = %+v, want shard %s digest %q", path, leaf, shardName(i), d)
+		}
+	}
+	if _, err := m.Node("2"); err == nil {
+		t.Fatal("Node accepted a non-binary path")
+	}
+	if _, err := m.Node(strings.Repeat("0", ManifestHeight+1)); err == nil {
+		t.Fatal("Node accepted a path below the leaves")
+	}
+}
+
+// TestManifestSeesExternalWrites: a long-lived Store handle must notice
+// entries written to its directory by another process (here: another
+// handle) — the situation a running regshared host is in while a sync
+// pushes envelopes underneath it.
+func TestManifestSeesExternalWrites(t *testing.T) {
+	dir := t.TempDir()
+	mine := NewStore(dir)
+	putKeys(t, mine, []string{"warm-1", "warm-2"})
+	before, err := mine.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	other := NewStore(dir)
+	putKeys(t, other, []string{"external-1"})
+
+	after, err := mine.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Root == before.Root {
+		t.Fatal("manifest cache missed an external write")
+	}
+	if after.Entries != 3 {
+		t.Fatalf("manifest counts %d entries after the external write, want 3", after.Entries)
+	}
+}
+
+// TestPutRawValidation: PutRaw accepts only verbatim envelopes of this
+// store's schema and simulator version, re-derives the entry name from
+// the key itself, and stores the bytes unchanged — so synced stores
+// converge to byte-equality and a peer cannot plant foreign entries.
+func TestPutRawValidation(t *testing.T) {
+	src := NewStore(t.TempDir())
+	putKeys(t, src, []string{"donor-key"})
+	donorName := strings.TrimSuffix(filepath.Base(src.Path("donor-key")), ".json")
+	raw, err := src.ReadRaw(donorName)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := NewStore(t.TempDir())
+	name, err := dst.PutRaw(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != donorName {
+		t.Fatalf("PutRaw stored under %q, want the key-derived name %q", name, donorName)
+	}
+	back, err := dst.ReadRaw(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back) != string(raw) {
+		t.Fatal("PutRaw did not store the envelope verbatim")
+	}
+	if res, ok := dst.Load("donor-key"); !ok || res.Bench != "donor-key" {
+		t.Fatalf("synced entry not loadable: ok=%v res=%+v", ok, res)
+	}
+	ms, err := src.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, err := dst.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Root != md.Root {
+		t.Fatal("a fully synced store does not share the donor's root")
+	}
+
+	reject := func(label string, data []byte) {
+		t.Helper()
+		if _, err := dst.PutRaw(data); err == nil {
+			t.Errorf("PutRaw accepted %s", label)
+		}
+	}
+	reject("garbage bytes", []byte("not json"))
+	reject("an empty object", []byte("{}"))
+	reject("a foreign schema", []byte(strings.Replace(string(raw), storeSchema, "rs0", 1)))
+	var e envelope
+	if err := json.Unmarshal(raw, &e); err != nil {
+		t.Fatal(err)
+	}
+	e.SimVersion = "s1-deadbeef"
+	foreign, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.SimVersion != cacheVersion() {
+		reject("a foreign simulator version", foreign)
+	}
+	e.SimVersion = cacheVersion()
+	e.Result = nil
+	hollow, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reject("an envelope with no result", hollow)
+}
+
+// FuzzDecodeManifest: DecodeManifest must never accept a manifest whose
+// root disagrees with its leaves, and everything it does accept must be
+// internally consistent and re-encodable.
+func FuzzDecodeManifest(f *testing.F) {
+	s := NewStore(f.TempDir())
+	for _, k := range []string{"seed-a", "seed-b"} {
+		if err := s.Put(k, storeResult(k)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	m, err := s.Manifest()
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := json.Marshal(m)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(""))
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"schema":"m1","height":8}`))
+	f.Add([]byte(strings.Replace(string(valid), m.Root, strings.Repeat("0", 64), 1)))
+	f.Add(valid[:len(valid)/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(data)
+		if err != nil {
+			return
+		}
+		if m.Schema != ManifestSchema || m.Height != ManifestHeight || len(m.Shards) != ShardCount {
+			t.Fatalf("DecodeManifest accepted a malformed manifest: %+v", m)
+		}
+		if root := merkleRoot(m.Shards); m.Root != root {
+			t.Fatalf("DecodeManifest accepted root %q over leaves hashing to %q", m.Root, root)
+		}
+		if n, err := m.Node(""); err != nil || n.Hash != m.Root {
+			t.Fatalf("accepted manifest's root node is broken: %+v, %v", n, err)
+		}
+		out, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("accepted manifest does not re-encode: %v", err)
+		}
+		if _, err := DecodeManifest(out); err != nil {
+			t.Fatalf("re-encoded manifest no longer decodes: %v", err)
+		}
+	})
+}

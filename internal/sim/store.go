@@ -6,6 +6,8 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"sync"
+	"time"
 )
 
 // storeSchema tags the on-disk envelope layout. Bump it when the envelope
@@ -31,6 +33,20 @@ const storeSchema = "rs1"
 //     ever serving stale or foreign results.
 type Store struct {
 	dir string
+
+	// Per-shard digest cache behind the Merkle manifest (manifest.go):
+	// a shard's scan is reused as long as the shard directory's mtime
+	// is unchanged, and local writes invalidate it eagerly.
+	mu     sync.Mutex
+	shards map[string]*shardCache
+}
+
+// shardCache is one shard's cached manifest state.
+type shardCache struct {
+	mtime   time.Time
+	digest  string
+	entries []ShardEntry
+	valid   bool
 }
 
 // envelope is the on-disk entry format: a versioned header wrapped
@@ -85,9 +101,6 @@ func (s *Store) Load(key string) (*Result, bool) {
 // write never affects correctness.
 func (s *Store) Put(key string, res *Result) error {
 	path := s.Path(key)
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return err
-	}
 	data, err := json.MarshalIndent(envelope{
 		Schema:     storeSchema,
 		SimVersion: cacheVersion(),
@@ -95,6 +108,21 @@ func (s *Store) Put(key string, res *Result) error {
 		Result:     res,
 	}, "", " ")
 	if err != nil {
+		return err
+	}
+	if err := s.writeEntry(path, data); err != nil {
+		return err
+	}
+	s.invalidate(filepath.Base(filepath.Dir(path)))
+	return nil
+}
+
+// writeEntry writes one entry file atomically: temp file + rename in
+// the target shard directory, so a reader never observes a partial
+// entry. Put and PutRaw share it, which keeps local and synced entries
+// byte-equivalent on disk.
+func (s *Store) writeEntry(path string, data []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".put*")
