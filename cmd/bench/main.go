@@ -28,6 +28,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -35,6 +36,7 @@ import (
 
 	"repro/internal/dispatch"
 	"repro/internal/sim"
+	"repro/internal/storeflag"
 )
 
 func main() {
@@ -48,6 +50,7 @@ func main() {
 		label    = flag.String("label", "", "free-form label recorded in the report")
 		list     = flag.Bool("list", false, "print the pinned points and exit")
 	)
+	sf := storeflag.Register(flag.CommandLine)
 	flag.Parse()
 
 	points := sim.BenchPoints(*quick)
@@ -70,6 +73,18 @@ func main() {
 		os.Exit(1)
 	}
 
+	store, err := sf.Open()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	if store != nil && (*backendF == "" || *backendF == "local") {
+		// The in-process measurement times the bare cycle loop; serving
+		// points from a store would measure the store, not the simulator.
+		fmt.Fprintln(os.Stderr, "bench: -store needs a non-local -backend (store-backed runs measure delivered throughput)")
+		os.Exit(1)
+	}
+
 	// ^C aborts the current point mid-simulation; a partial report is
 	// not written (the pinned set is only comparable when complete).
 	ctx := sim.SignalContext()
@@ -80,7 +95,6 @@ func main() {
 			done, len(points), r.Bench, r.Tracker, r.Cycles, r.IPC, float64(r.WallNS)/1e6, r.CyclesPerSec)
 	}
 	var rep *sim.BenchReport
-	var err error
 	if *backendF == "" || *backendF == "local" {
 		rep, err = sim.RunBench(ctx, points, *quick, progress)
 	} else {
@@ -91,9 +105,28 @@ func main() {
 			os.Exit(1)
 		}
 		defer be.Close()
-		rep, err = sim.RunBenchVia(ctx, points, *quick, be.Execute, progress)
+		exec := be.Execute
+		backendLabel := *backendF
+		if store != nil {
+			// Store-first execution: a hit skips the backend entirely, a
+			// miss runs and backfills. The label records the store so the
+			// report is never mistaken for raw backend throughput.
+			exec = func(ctx context.Context, req sim.Request) (*sim.Result, error) {
+				key := sim.Key(req)
+				if res, ok := store.Load(ctx, key); ok {
+					return res, nil
+				}
+				res, err := be.Execute(ctx, req)
+				if err == nil {
+					store.Put(context.WithoutCancel(ctx), key, res)
+				}
+				return res, err
+			}
+			backendLabel += "+" + store.Spec()
+		}
+		rep, err = sim.RunBenchVia(ctx, points, *quick, exec, progress)
 		if rep != nil {
-			rep.Backend = *backendF
+			rep.Backend = backendLabel
 		}
 	}
 	if err != nil {

@@ -1,0 +1,51 @@
+// Command fakes3 serves the in-process S3 fake (internal/objstore/s3test)
+// over a real TCP port, so shell scripts and CI jobs can point
+// `-store s3://bucket/prefix -s3-endpoint http://ADDR` at a bucket
+// without MinIO or network access. It speaks exactly the REST subset
+// the objstore s3 backend uses — SigV4-verified GET/PUT/HEAD plus
+// ListObjectsV2 — and holds everything in memory.
+//
+// The listening address is printed on stdout as the first line
+// ("listening on http://127.0.0.1:PORT"), which doubles as the
+// readiness signal: once the line appears, the server is accepting
+// requests. -addr :0 picks a free port.
+//
+// Usage:
+//
+//	fakes3 -addr 127.0.0.1:9000 -bucket simstore &
+//	sweep -store s3://simstore/grid -s3-endpoint http://127.0.0.1:9000 ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"repro/internal/objstore/s3test"
+	"repro/internal/objstore/sigv4"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:0", "listen address (host:port; port 0 picks a free port)")
+		bucket    = flag.String("bucket", "simstore", "bucket name the fake serves")
+		accessKey = flag.String("access-key", "test", "access key ID clients must sign with")
+		secretKey = flag.String("secret-key", "testsecret", "secret access key clients must sign with")
+		region    = flag.String("region", "us-east-1", "region the signatures are scoped to")
+	)
+	flag.Parse()
+
+	srv := s3test.New(*bucket, sigv4.Credentials{AccessKeyID: *accessKey, SecretAccessKey: *secretKey}, *region)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fakes3:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("listening on http://%s\n", ln.Addr())
+	if err := http.Serve(ln, srv); err != nil {
+		fmt.Fprintln(os.Stderr, "fakes3:", err)
+		os.Exit(1)
+	}
+}

@@ -15,7 +15,7 @@
 //	paperfigs -scenario branch-hostile   # a committed scenario by name
 //	paperfigs -scenario my.scenario      # or a spec file
 //	paperfigs -measure 300000 # longer runs
-//	paperfigs -cachedir .simcache  # reuse simulations across invocations
+//	paperfigs -store fs:.simcache  # reuse simulations across invocations
 //	paperfigs -backend pool:8      # crash-isolated worker subprocesses
 package main
 
@@ -31,18 +31,19 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/storeflag"
 )
 
 func main() {
 	dispatch.MaybeWorker()
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|fig4|fig5a|fig5b|fig6a|fig6b|fig6c|fig7|ddt|storeonly|cwidth|ports|rob512|singlebit|disthist|trackers|storage|all")
-		scen     = flag.String("scenario", "", "run one scenario instead: a builtin name or a .scenario file path")
-		warmup   = flag.Uint64("warmup", experiments.DefaultRunLengths.Warmup, "warmup instructions per run")
-		measure  = flag.Uint64("measure", experiments.DefaultRunLengths.Measure, "measured instructions per run")
-		cachedir = flag.String("cachedir", "", "directory for the on-disk result cache (empty: off)")
-		backend  = flag.String("backend", "local", "execution backend: local | pool:N | http://addr")
+		exp     = flag.String("exp", "all", "experiment: table1|fig4|fig5a|fig5b|fig6a|fig6b|fig6c|fig7|ddt|storeonly|cwidth|ports|rob512|singlebit|disthist|trackers|storage|all")
+		scen    = flag.String("scenario", "", "run one scenario instead: a builtin name or a .scenario file path")
+		warmup  = flag.Uint64("warmup", experiments.DefaultRunLengths.Warmup, "warmup instructions per run")
+		measure = flag.Uint64("measure", experiments.DefaultRunLengths.Measure, "measured instructions per run")
+		backend = flag.String("backend", "local", "execution backend: local | pool:N | http://addr")
 	)
+	sf := storeflag.Register(flag.CommandLine)
 	flag.Parse()
 
 	be, err := dispatch.New(*backend)
@@ -54,9 +55,14 @@ func main() {
 
 	// ^C cancels the context; the session's figure methods then panic
 	// with a sim.ErrCanceled-wrapping error, which the deferred recover
-	// turns into a clean exit (completed simulations stay in -cachedir).
+	// turns into a clean exit (completed simulations stay in -store).
 	ctx := sim.SignalContext()
-	runner := sim.New(append(dispatch.Options(be), sim.WithCacheDir(*cachedir))...)
+	store, err := sf.Open()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	runner := sim.New(append(dispatch.Options(be), sim.WithStore(store))...)
 	progress := sim.NewProgress(os.Stderr, runner, 0)
 	defer func() {
 		if v := recover(); v != nil {

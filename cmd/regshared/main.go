@@ -29,7 +29,7 @@
 //
 // All requests flow through one shared sim.Runner, so concurrent
 // clients asking for the same cell share a single simulation, and
-// -cachedir persists every completed result in the store /v1/results
+// -store persists every completed result in the store /v1/results
 // serves from. The execution backend is itself pluggable: `-backend
 // pool:N` farms the simulations out to N crash-isolated worker
 // subprocesses instead of running them in the server process.
@@ -39,18 +39,19 @@
 // service answers 429 with a Retry-After hint instead of queueing
 // unboundedly. cmd/loadgen drives the saturation curve.
 //
-// Two hosts running regshared with their own -cachedir federate
-// through the manifest: `regshared -cachedir DIR -sync URL` walks the
+// Two hosts running regshared with their own -store federate
+// through the manifest: `regshared -store fs:DIR -sync URL` walks the
 // peer's Merkle tree (O(log shards) hash exchanges), transfers only
 // the envelopes one side is missing — pulls and pushes — and exits.
 //
 // Usage:
 //
-//	regshared -addr :8347 -cachedir /var/lib/regshared
+//	regshared -addr :8347 -store fs:/var/lib/regshared
+//	regshared -addr :8347 -store s3://simstore/grid -s3-endpoint http://minio:9000
 //	regshared -addr :8347 -backend pool:8 -max-inflight 16 -max-queue 256
 //	regshared -simver          # print the store envelope version and exit
-//	regshared -cachedir DIR -manifest       # print the store manifest summary and exit
-//	regshared -cachedir DIR -sync http://peer:8347   # reconcile with a peer and exit
+//	regshared -store fs:DIR -manifest       # print the store manifest summary and exit
+//	regshared -store fs:DIR -sync http://peer:8347   # reconcile with a peer and exit
 //
 // SIGINT/SIGTERM shut the server down gracefully: in-flight requests
 // get 10 seconds to finish (their runner contexts are canceled by the
@@ -71,22 +72,23 @@ import (
 
 	"repro/internal/dispatch"
 	"repro/internal/sim"
+	"repro/internal/storeflag"
 )
 
 func main() {
 	dispatch.MaybeWorker()
 	var (
 		addr        = flag.String("addr", ":8347", "listen address")
-		cachedir    = flag.String("cachedir", "", "directory for the sharded on-disk result store (empty: off; /v1/results then always misses)")
 		backend     = flag.String("backend", "local", "execution backend: local | pool:N | batched:local | batched:pool:N")
 		workers     = flag.Int("workers", 0, "cap the runner's concurrent simulations (0: GOMAXPROCS, or the pool size)")
 		maxInflight = flag.Int("max-inflight", 0, "admission: max concurrently executing requests (0: 4×GOMAXPROCS, min 16)")
 		maxQueue    = flag.Int("max-queue", 1024, "admission: max queued requests before 429 + Retry-After (negative: no queue, reject beyond -max-inflight)")
 		recent      = flag.Int("recent", 256, "size of the /v1/requests/recent ring buffer")
 		simver      = flag.Bool("simver", false, "print the simulator version tag (the store envelope simver) and exit")
-		manifest    = flag.Bool("manifest", false, "print the -cachedir store's Merkle manifest summary and exit")
-		syncURL     = flag.String("sync", "", "reconcile the -cachedir store with the regshared at this URL, print the transfer stats, and exit")
+		manifest    = flag.Bool("manifest", false, "print the -store store's Merkle manifest summary and exit")
+		syncURL     = flag.String("sync", "", "reconcile the -store store with the regshared at this URL, print the transfer stats, and exit")
 	)
+	sf := storeflag.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *simver {
@@ -94,11 +96,15 @@ func main() {
 		return
 	}
 	if *manifest || *syncURL != "" {
-		if *cachedir == "" {
-			fmt.Fprintln(os.Stderr, "regshared: -manifest and -sync need a -cachedir store")
+		store, err := sf.Open()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		store := sim.NewStore(*cachedir)
+		if store == nil {
+			fmt.Fprintln(os.Stderr, "regshared: -manifest and -sync need a -store (or deprecated -cachedir)")
+			os.Exit(1)
+		}
 		if *manifest {
 			if err := printManifest(store); err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -130,9 +136,12 @@ func main() {
 	defer be.Close()
 
 	opts := dispatch.Options(be)
-	var store *sim.Store
-	if *cachedir != "" {
-		store = sim.NewStore(*cachedir)
+	store, err := sf.Open()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if store != nil {
 		opts = append(opts, sim.WithStore(store))
 	}
 	if *workers > 0 {
@@ -179,7 +188,7 @@ func main() {
 		}
 	}()
 
-	log.Printf("regshared: serving on %s (backend %s, store %s)", *addr, *backend, storeDesc(*cachedir))
+	log.Printf("regshared: serving on %s (backend %s, store %s)", *addr, *backend, storeDesc(store))
 	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -188,17 +197,17 @@ func main() {
 }
 
 // storeDesc names the store configuration for the startup log line.
-func storeDesc(dir string) string {
-	if dir == "" {
+func storeDesc(store *sim.Store) string {
+	if store == nil {
 		return "off"
 	}
-	return dir
+	return store.Spec()
 }
 
 // printManifest prints the local store's Merkle manifest summary —
 // what a peer would see from GET /v1/manifest.
 func printManifest(store *sim.Store) error {
-	m, err := store.Manifest()
+	m, err := store.Manifest(sim.SignalContext())
 	if err != nil {
 		return err
 	}
@@ -226,7 +235,7 @@ func runSync(store *sim.Store, url string) error {
 	fmt.Printf("synced with %s: %d shards differed, %d hash exchanges\n", url, st.ShardsDiffer, st.HashExchanges)
 	fmt.Printf("pulled: %d (%d rejected locally)\n", st.Pulled, st.PullRejected)
 	fmt.Printf("pushed: %d (%d rejected by the peer)\n", st.Pushed, st.PushRejected)
-	m, err := store.Manifest()
+	m, err := store.Manifest(sim.SignalContext())
 	if err != nil {
 		return err
 	}

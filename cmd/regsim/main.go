@@ -1,6 +1,6 @@
 // Command regsim runs one benchmark on one machine configuration and
 // prints the run's statistics. Plain runs go through the shared
-// internal/sim runner (so -cachedir reuses results across invocations);
+// internal/sim runner (so -store reuses results across invocations);
 // -trace drives the core directly because tracing needs the live
 // pipeline.
 //
@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/smb"
+	"repro/internal/storeflag"
 	"repro/internal/workloads"
 )
 
@@ -48,8 +49,8 @@ func main() {
 		verbose   = flag.Bool("v", false, "print extended statistics")
 		trace     = flag.Uint64("trace", 0, "print a pipeline trace for the first N cycles of measurement")
 		jsonOut   = flag.Bool("json", false, "emit the run's full sim.Result as one JSON object")
-		cachedir  = flag.String("cachedir", "", "directory for the on-disk result cache (empty: off)")
 	)
+	sf := storeflag.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -92,8 +93,12 @@ func main() {
 	if *trace > 0 {
 		res = traceRun(ctx, cfg, *bench, *warmup, *measure, *trace)
 	} else {
-		runner := sim.New(sim.WithCacheDir(*cachedir))
-		var err error
+		store, err := sf.Open()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runner := sim.New(sim.WithStore(store))
 		res, err = runner.Run(ctx, req)
 		if err != nil {
 			if errors.Is(err, sim.ErrCanceled) {

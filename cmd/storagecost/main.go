@@ -4,14 +4,14 @@
 // reference point, and the predictor/DDT budgets — and, with -frontier,
 // joins that arithmetic with measured performance: it runs the committed
 // "storage-frontier" scenario through the shared internal/sim runner
-// (deduplicated, cached via -cachedir like every other command) and
+// (deduplicated, cached via -store like every other command) and
 // prints gmean ME+SMB speedup against the storage each scheme costs.
 //
 // Usage:
 //
 //	storagecost                      # the paper's closed-form accounting
 //	storagecost -frontier            # measured speedup vs storage frontier
-//	storagecost -frontier -bench branch-hostile -cachedir .simcache
+//	storagecost -frontier -bench branch-hostile -store fs:.simcache
 package main
 
 import (
@@ -26,6 +26,7 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/storeflag"
 )
 
 func main() {
@@ -34,8 +35,8 @@ func main() {
 		bench    = flag.String("bench", "", "frontier: single benchmark or group (default: the spec's set)")
 		warmup   = flag.Uint64("warmup", 0, "frontier: override the spec's warmup µops (explicit 0 = no warmup)")
 		measure  = flag.Uint64("measure", 0, "frontier: override the spec's measured µops")
-		cachedir = flag.String("cachedir", "", "frontier: directory for the sharded on-disk result store")
 	)
+	sf := storeflag.Register(flag.CommandLine)
 	flag.Parse()
 
 	fmt.Println(experiments.StorageTable())
@@ -59,9 +60,14 @@ func main() {
 		os.Exit(1)
 	}
 	// ^C aborts the frontier sweep mid-simulation; completed cells stay
-	// in the -cachedir store for the next invocation.
+	// in the -store store for the next invocation.
 	ctx := sim.SignalContext()
-	runner := sim.New(sim.WithCacheDir(*cachedir))
+	store, err := sf.Open()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	runner := sim.New(sim.WithStore(store))
 	progress := sim.NewProgress(os.Stderr, runner, len(matrix.Requests))
 	rep, err := matrix.Run(ctx, runner, progress.Observe)
 	progress.Finish()

@@ -13,8 +13,10 @@
 //
 // All simulations go through one internal/sim runner, so shared cells —
 // notably the baseline, which every grid cell compares against — run
-// exactly once, and -cachedir persists results in the sharded on-disk
-// store shared with every other command.
+// exactly once, and -store persists results in the sharded
+// content-addressed store (fs:DIR, mem:, or s3://bucket/prefix) shared
+// with every other command. The -cachedir flag remains as a deprecated
+// alias for -store fs:DIR.
 //
 // Usage:
 //
@@ -23,7 +25,8 @@
 //	sweep -scenario isrb-rob-grid     # any builtin scenario by name
 //	sweep -spec my.scenario -json     # a spec file, machine-readable report
 //	sweep -list                       # list the committed scenarios
-//	sweep -cachedir .simcache         # persist results between runs
+//	sweep -store fs:.simcache         # persist results between runs
+//	sweep -store s3://simstore/grid   # share one bucket across a fleet
 //	sweep -backend pool:8             # crash-isolated worker subprocesses
 //	sweep -backend http://host:8347   # farm out to a regshared service
 package main
@@ -38,6 +41,7 @@ import (
 	"repro/internal/dispatch"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/storeflag"
 )
 
 // exitCanceled handles ^C uniformly: a canceled run reports
@@ -59,12 +63,12 @@ func main() {
 		bench    = flag.String("bench", "", "single benchmark or group (default: the spec's benchmark set)")
 		warmup   = flag.Uint64("warmup", 0, "override the spec's warmup µops (explicit 0 = no warmup)")
 		measure  = flag.Uint64("measure", 0, "override the spec's measured µops")
-		cachedir = flag.String("cachedir", "", "directory for the sharded on-disk result store (empty: off)")
 		backend  = flag.String("backend", "local", "execution backend: local | pool:N | http://addr")
 		jsonOut  = flag.Bool("json", false, "emit the machine-readable report instead of the table")
 		simver   = flag.Bool("simver", false, "print the simulator version tag (the store envelope simver, CI's store cache key) and exit")
 		verbose  = flag.Bool("v", false, "report runner counters on stderr")
 	)
+	sf := storeflag.Register(flag.CommandLine)
 	flag.Parse()
 
 	fail := func(err error) {
@@ -126,14 +130,22 @@ func main() {
 
 	// ^C cancels the context, which aborts the in-flight simulations
 	// mid-cycle-loop; completed cells are already in the store (if
-	// -cachedir is set), so a re-run resumes where this one stopped.
+	// -store is set), so a re-run resumes where this one stopped.
 	ctx := sim.SignalContext()
 	be, err := dispatch.New(*backend)
 	if err != nil {
 		fail(err)
 	}
 	defer be.Close()
-	runner := sim.New(append(dispatch.Options(be), sim.WithCacheDir(*cachedir))...)
+	store, err := sf.Open()
+	if err != nil {
+		fail(err)
+	}
+	opts := dispatch.Options(be)
+	if store != nil {
+		opts = append(opts, sim.WithStore(store))
+	}
+	runner := sim.New(opts...)
 	progress := sim.NewProgress(os.Stderr, runner, len(matrix.Requests))
 	rep, err := matrix.Run(ctx, runner, progress.Observe)
 	progress.Finish()

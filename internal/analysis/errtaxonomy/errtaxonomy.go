@@ -46,6 +46,8 @@ var scope = map[string]bool{
 	"repro/internal/scenario":    true,
 	"repro/internal/dispatch":    true,
 	"repro/internal/experiments": true,
+	"repro/internal/objstore":    true,
+	"repro/internal/storeflag":   true,
 }
 
 func inScope(path string) bool {

@@ -25,7 +25,7 @@
 //	backend, err := dispatch.New(*backendFlag)
 //	...
 //	defer backend.Close()
-//	runner := sim.New(append(dispatch.Options(backend), sim.WithCacheDir(dir))...)
+//	runner := sim.New(append(dispatch.Options(backend), sim.WithStore(store))...)
 //
 // Pool re-executes the running binary as its worker processes, so every
 // command that accepts -backend calls MaybeWorker first thing in main.

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/objstore"
 	"repro/internal/sim"
 )
 
@@ -192,6 +193,17 @@ type MetricsSnapshot struct {
 	SyncRejected uint64 `json:"sync_rejected,omitempty"`
 	SyncServed   uint64 `json:"sync_served,omitempty"`
 
+	// Store-tier counters (see objstore.TierStats): backend operations
+	// the result store performed, and — for remote backends with a
+	// read-through cache — how reads split between the local tier and
+	// the remote bucket. Zero/absent when the service has no store.
+	StoreGets        int64 `json:"store_gets,omitempty"`
+	StorePuts        int64 `json:"store_puts,omitempty"`
+	StoreLists       int64 `json:"store_lists,omitempty"`
+	StoreLocalHits   int64 `json:"store_local_hits,omitempty"`
+	StoreRemoteGets  int64 `json:"store_remote_gets,omitempty"`
+	StoreRemoteBytes int64 `json:"store_remote_bytes,omitempty"`
+
 	Endpoints []EndpointMetrics `json:"endpoints"`
 }
 
@@ -326,31 +338,38 @@ func (m *metrics) sync(stored, rejected, served uint64) {
 }
 
 // snapshot assembles the /metrics response from the aggregator, the
-// runner's provenance counters and the admission queue depth.
-func (m *metrics) snapshot(ctr sim.Counters, queueDepth int) MetricsSnapshot {
+// runner's provenance counters, the admission queue depth and the
+// store's backend tier counters.
+func (m *metrics) snapshot(ctr sim.Counters, queueDepth int, tier objstore.TierStats) MetricsSnapshot {
 	now := nowNS()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := MetricsSnapshot{
-		StartedNS:       m.startNS,
-		NowNS:           now,
-		Accepted:        m.accepted,
-		Completed:       m.completed,
-		Errors:          m.errored,
-		Rejected:        m.rejected,
-		InFlight:        m.inFlight,
-		QueueDepth:      queueDepth,
-		Simulated:       ctr.Simulated,
-		MemHits:         ctr.MemHits,
-		StoreHits:       ctr.DiskHits,
-		CyclesDelivered: m.cyclesDelivered,
-		BulkBatches:     m.bulkBatches,
-		BulkItems:       m.bulkItems,
-		BulkMaxBatch:    m.bulkMaxBatch,
-		SyncStored:      m.syncStored,
-		SyncRejected:    m.syncRejected,
-		SyncServed:      m.syncServed,
-		Endpoints:       make([]EndpointMetrics, 0, numEndpoints),
+		StartedNS:        m.startNS,
+		NowNS:            now,
+		Accepted:         m.accepted,
+		Completed:        m.completed,
+		Errors:           m.errored,
+		Rejected:         m.rejected,
+		InFlight:         m.inFlight,
+		QueueDepth:       queueDepth,
+		Simulated:        ctr.Simulated,
+		MemHits:          ctr.MemHits,
+		StoreHits:        ctr.DiskHits,
+		CyclesDelivered:  m.cyclesDelivered,
+		BulkBatches:      m.bulkBatches,
+		BulkItems:        m.bulkItems,
+		BulkMaxBatch:     m.bulkMaxBatch,
+		SyncStored:       m.syncStored,
+		SyncRejected:     m.syncRejected,
+		SyncServed:       m.syncServed,
+		StoreGets:        tier.Gets,
+		StorePuts:        tier.Puts,
+		StoreLists:       tier.Lists,
+		StoreLocalHits:   tier.LocalHits,
+		StoreRemoteGets:  tier.RemoteGets,
+		StoreRemoteBytes: tier.RemoteBytes,
+		Endpoints:        make([]EndpointMetrics, 0, numEndpoints),
 	}
 	if settled := ctr.Simulated + ctr.MemHits + ctr.DiskHits; settled > 0 {
 		s.HitRate = float64(ctr.MemHits+ctr.DiskHits) / float64(settled)

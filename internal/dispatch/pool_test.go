@@ -122,7 +122,7 @@ func TestPoolWorkerCrashRetries(t *testing.T) {
 	if got := store.Len(); got != 1 {
 		t.Fatalf("store holds %d entries, want 1", got)
 	}
-	stored, ok := store.Load(sim.Key(req))
+	stored, ok := store.Load(context.Background(), sim.Key(req))
 	if !ok {
 		t.Fatal("stored entry does not load back (corrupt or version-mismatched)")
 	}

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"sync"
 
+	"repro/internal/objstore"
 	"repro/internal/sim"
 )
 
@@ -388,7 +389,7 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 		s.met.finish(t, http.StatusNotFound, 0)
 		return
 	}
-	res, ok := s.store.Load(key)
+	res, ok := s.store.Load(r.Context(), key)
 	if !ok {
 		writeError(w, http.StatusNotFound, kindNotFound, fmt.Sprintf("no stored result for key %q", key))
 		s.met.finish(t, http.StatusNotFound, 0)
@@ -419,7 +420,7 @@ func (s *Service) handleManifest(w http.ResponseWriter, r *http.Request) {
 	if !s.storeOr404(w, t) {
 		return
 	}
-	m, err := s.store.Manifest()
+	m, err := s.store.Manifest(r.Context())
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, kindInternal, err.Error())
 		s.met.finish(t, http.StatusInternalServerError, 0)
@@ -444,7 +445,7 @@ func (s *Service) handleManifestNode(w http.ResponseWriter, r *http.Request) {
 	if !s.storeOr404(w, t) {
 		return
 	}
-	m, err := s.store.Manifest()
+	m, err := s.store.Manifest(r.Context())
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, kindInternal, err.Error())
 		s.met.finish(t, http.StatusInternalServerError, 0)
@@ -469,7 +470,7 @@ func (s *Service) handleShard(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	shard := r.PathValue("shard")
-	entries, err := s.store.ShardList(shard)
+	entries, err := s.store.ShardList(r.Context(), shard)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, kindBadConfig, err.Error())
 		s.met.finish(t, http.StatusBadRequest, 0)
@@ -489,7 +490,7 @@ func (s *Service) handleStoreEntry(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := r.PathValue("name")
-	data, err := s.store.ReadRaw(name)
+	data, err := s.store.ReadRaw(r.Context(), name)
 	switch {
 	case errors.Is(err, fs.ErrNotExist):
 		writeError(w, http.StatusNotFound, kindNotFound, fmt.Sprintf("no store entry %s", name))
@@ -524,7 +525,7 @@ func (s *Service) handleSync(w http.ResponseWriter, r *http.Request) {
 	}
 	var reply syncReply
 	for _, env := range push.Envelopes {
-		if _, err := s.store.PutRaw(env); err != nil {
+		if _, err := s.store.PutRaw(r.Context(), env); err != nil {
 			reply.Rejected++
 			if len(reply.Errors) < 8 {
 				reply.Errors = append(reply.Errors, err.Error())
@@ -540,7 +541,11 @@ func (s *Service) handleSync(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics serves the service counters snapshot.
 func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, s.met.snapshot(s.runner.Counters(), s.adm.depth()))
+	var tier objstore.TierStats
+	if s.store != nil {
+		tier = s.store.TierStats()
+	}
+	writeJSON(w, s.met.snapshot(s.runner.Counters(), s.adm.depth(), tier))
 }
 
 // handleRecent serves the last-N finished requests, newest first.

@@ -65,7 +65,7 @@ func (h *HTTP) Manifest(ctx context.Context) (ManifestSummary, error) {
 // is left alone on both — surfacing as roots that refuse to converge
 // rather than as either side silently overwriting the other.
 func (h *HTTP) Sync(ctx context.Context, store *sim.Store) (*SyncStats, error) {
-	local, err := store.Manifest()
+	local, err := store.Manifest(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -152,7 +152,7 @@ func (h *HTTP) syncShard(ctx context.Context, store *sim.Store, shard string, st
 	if err != nil {
 		return err
 	}
-	localEntries, err := store.ShardList(shard)
+	localEntries, err := store.ShardList(ctx, shard)
 	if err != nil {
 		return err
 	}
@@ -172,7 +172,7 @@ func (h *HTTP) syncShard(ctx context.Context, store *sim.Store, shard string, st
 		if err != nil {
 			return err
 		}
-		if _, err := store.PutRaw(data); err != nil {
+		if _, err := store.PutRaw(ctx, data); err != nil {
 			st.PullRejected++
 			continue
 		}
@@ -183,7 +183,7 @@ func (h *HTTP) syncShard(ctx context.Context, store *sim.Store, shard string, st
 		if _, ok := remoteByName[le.Name]; ok {
 			continue
 		}
-		data, err := store.ReadRaw(le.Name)
+		data, err := store.ReadRaw(ctx, le.Name)
 		if err != nil {
 			continue // deleted underneath us; the next sync settles it
 		}

@@ -18,7 +18,7 @@ import (
 func warmStore(t *testing.T, s *sim.Store, keys ...string) {
 	t.Helper()
 	for _, k := range keys {
-		if err := s.Put(k, &sim.Result{Bench: k, StaticUops: 42, IPC: 1.5}); err != nil {
+		if err := s.Put(context.Background(), k, &sim.Result{Bench: k, StaticUops: 42, IPC: 1.5}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -81,11 +81,11 @@ func TestSyncTwoHostsConverge(t *testing.T) {
 		t.Errorf("sync fetched %d envelopes, want exactly the %d missing ones", n, len(bOnly))
 	}
 
-	mm, err := mine.Manifest()
+	mm, err := mine.Manifest(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	tm, err := theirs.Manifest()
+	tm, err := theirs.Manifest(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,10 +97,10 @@ func TestSyncTwoHostsConverge(t *testing.T) {
 	}
 	// The synced results are servable: every key loads from both sides.
 	for _, k := range append(append(append([]string{}, common...), aOnly...), bOnly...) {
-		if res, ok := mine.Load(k); !ok || res.Bench != k {
+		if res, ok := mine.Load(context.Background(), k); !ok || res.Bench != k {
 			t.Fatalf("key %q not loadable from the client store after sync", k)
 		}
-		if res, ok := theirs.Load(k); !ok || res.Bench != k {
+		if res, ok := theirs.Load(context.Background(), k); !ok || res.Bench != k {
 			t.Fatalf("key %q not loadable from the server store after sync", k)
 		}
 	}
@@ -143,8 +143,8 @@ func TestSyncSingleShardDiffIsLogarithmic(t *testing.T) {
 	if st.Pulled != 1 || st.Pushed != 0 {
 		t.Fatalf("sync stats %+v: want exactly one pulled envelope", st)
 	}
-	mm, _ := mine.Manifest()
-	tm, _ := theirs.Manifest()
+	mm, _ := mine.Manifest(context.Background())
+	tm, _ := theirs.Manifest(context.Background())
 	if mm.Root != tm.Root {
 		t.Fatal("roots did not converge")
 	}
@@ -193,10 +193,10 @@ func TestSyncForeignEnvelopeRejected(t *testing.T) {
 	if st.Pushed != 1 {
 		t.Fatalf("sync stats %+v: the legitimate envelope should still push", st)
 	}
-	if _, ok := theirs.Load("good-1"); !ok {
+	if _, ok := theirs.Load(context.Background(), "good-1"); !ok {
 		t.Fatal("legitimate envelope did not arrive")
 	}
-	if _, err := theirs.ReadRaw(name); err == nil {
+	if _, err := theirs.ReadRaw(context.Background(), name); err == nil {
 		t.Fatal("forged envelope landed in the peer store")
 	}
 }

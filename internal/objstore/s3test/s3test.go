@@ -1,0 +1,221 @@
+// Package s3test is an in-process S3-compatible fake implementing the
+// REST subset the objstore s3 client speaks: SigV4-verified path-style
+// GET / PUT / HEAD object, conditional writes (If-None-Match: *) and
+// ListObjectsV2 with continuation tokens. CI and unit tests mount it in
+// an httptest.Server (or via cmd/fakes3 on a real port) so the full s3
+// path runs with no external service.
+//
+// The fake is deliberately strict: it verifies every request's
+// signature and payload hash, answers unknown buckets and keys with the
+// S3 XML error shapes, and never reads a clock — responses are a pure
+// function of the stored state and the request.
+package s3test
+
+import (
+	"bytes"
+	"crypto/md5"
+	"encoding/hex"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/objstore/sigv4"
+)
+
+// maxBody bounds one uploaded object.
+const maxBody = 64 << 20
+
+// Server is the fake's state: one bucket of keyed blobs plus the
+// credential set requests must sign with. Safe for concurrent use.
+type Server struct {
+	bucket string
+	region string
+	creds  map[string]string // access key ID → secret
+
+	// MaxKeys caps one ListObjectsV2 page (default 1000); tests set
+	// it low to exercise continuation-token paging.
+	MaxKeys int
+
+	mu      sync.Mutex
+	objects map[string][]byte
+}
+
+// New returns a fake serving one bucket that accepts requests signed
+// with creds in region.
+func New(bucket string, creds sigv4.Credentials, region string) *Server {
+	return &Server{
+		bucket:  bucket,
+		region:  region,
+		creds:   map[string]string{creds.AccessKeyID: creds.SecretAccessKey},
+		MaxKeys: 1000,
+		objects: make(map[string][]byte),
+	}
+}
+
+// Len returns the number of stored objects.
+func (s *Server) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.objects)
+}
+
+// xmlError is the S3 error response shape.
+type xmlError struct {
+	XMLName xml.Name `xml:"Error"`
+	Code    string   `xml:"Code"`
+	Message string   `xml:"Message"`
+}
+
+func writeXMLError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/xml")
+	w.WriteHeader(status)
+	// The client is an in-process test; a torn error body only makes the
+	// failing test noisier.
+	_ = xml.NewEncoder(w).Encode(xmlError{Code: code, Message: msg})
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
+	if err != nil {
+		writeXMLError(w, http.StatusBadRequest, "IncompleteBody", err.Error())
+		return
+	}
+	if len(body) > maxBody {
+		writeXMLError(w, http.StatusBadRequest, "EntityTooLarge", "object exceeds the fake's size cap")
+		return
+	}
+	// The payload hash is signed; verify the body matches it before
+	// verifying the signature over it.
+	if got, want := sigv4.PayloadHash(body), r.Header.Get("x-amz-content-sha256"); got != want {
+		writeXMLError(w, http.StatusBadRequest, "XAmzContentSHA256Mismatch", "payload does not hash to x-amz-content-sha256")
+		return
+	}
+	lookup := func(akid string) (string, bool) {
+		secret, ok := s.creds[akid]
+		return secret, ok
+	}
+	if err := sigv4.Verify(r, lookup, s.region, "s3"); err != nil {
+		writeXMLError(w, http.StatusForbidden, "SignatureDoesNotMatch", err.Error())
+		return
+	}
+
+	bucket, key, _ := strings.Cut(strings.TrimPrefix(r.URL.Path, "/"), "/")
+	if bucket != s.bucket {
+		writeXMLError(w, http.StatusNotFound, "NoSuchBucket", fmt.Sprintf("bucket %q does not exist", bucket))
+		return
+	}
+	switch {
+	case r.Method == http.MethodGet && key == "":
+		s.handleList(w, r)
+	case r.Method == http.MethodGet:
+		s.handleGet(w, key, true)
+	case r.Method == http.MethodHead:
+		s.handleGet(w, key, false)
+	case r.Method == http.MethodPut && key != "":
+		s.handlePut(w, r, key, body)
+	default:
+		writeXMLError(w, http.StatusMethodNotAllowed, "MethodNotAllowed", r.Method+" is not supported by the fake")
+	}
+}
+
+func etagFor(data []byte) string {
+	sum := md5.Sum(data)
+	return `"` + hex.EncodeToString(sum[:]) + `"`
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, key string, withBody bool) {
+	s.mu.Lock()
+	data, ok := s.objects[key]
+	s.mu.Unlock()
+	if !ok {
+		if !withBody { // HEAD carries no error document
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		writeXMLError(w, http.StatusNotFound, "NoSuchKey", fmt.Sprintf("key %q does not exist", key))
+		return
+	}
+	w.Header().Set("ETag", etagFor(data))
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	if withBody {
+		w.Write(data)
+	}
+}
+
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request, key string, body []byte) {
+	s.mu.Lock()
+	if r.Header.Get("If-None-Match") == "*" {
+		if _, exists := s.objects[key]; exists {
+			s.mu.Unlock()
+			writeXMLError(w, http.StatusPreconditionFailed, "PreconditionFailed", "key exists and If-None-Match: * was given")
+			return
+		}
+	}
+	s.objects[key] = bytes.Clone(body)
+	s.mu.Unlock()
+	w.Header().Set("ETag", etagFor(body))
+	w.WriteHeader(http.StatusOK)
+}
+
+// listResult mirrors the ListObjectsV2 response subset clients parse.
+type listResult struct {
+	XMLName               xml.Name      `xml:"ListBucketResult"`
+	Name                  string        `xml:"Name"`
+	Prefix                string        `xml:"Prefix"`
+	KeyCount              int           `xml:"KeyCount"`
+	MaxKeys               int           `xml:"MaxKeys"`
+	IsTruncated           bool          `xml:"IsTruncated"`
+	NextContinuationToken string        `xml:"NextContinuationToken,omitempty"`
+	Contents              []listContent `xml:"Contents"`
+}
+
+type listContent struct {
+	Key  string `xml:"Key"`
+	Size int64  `xml:"Size"`
+	ETag string `xml:"ETag"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if q.Get("list-type") != "2" {
+		writeXMLError(w, http.StatusBadRequest, "InvalidArgument", "only list-type=2 is supported")
+		return
+	}
+	prefix := q.Get("prefix")
+	after := q.Get("continuation-token") // opaque to clients; the fake uses the last key served
+
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.objects))
+	for k := range s.objects {
+		if strings.HasPrefix(k, prefix) && k > after {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	lr := listResult{Name: s.bucket, Prefix: prefix, MaxKeys: s.MaxKeys}
+	for _, k := range keys {
+		if len(lr.Contents) >= s.MaxKeys {
+			lr.IsTruncated = true
+			lr.NextContinuationToken = lr.Contents[len(lr.Contents)-1].Key
+			break
+		}
+		lr.Contents = append(lr.Contents, listContent{
+			Key:  k,
+			Size: int64(len(s.objects[k])),
+			ETag: etagFor(s.objects[k]),
+		})
+	}
+	lr.KeyCount = len(lr.Contents)
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/xml")
+	w.WriteHeader(http.StatusOK)
+	_ = xml.NewEncoder(w).Encode(lr)
+}

@@ -1,0 +1,251 @@
+package sigv4
+
+import (
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+)
+
+// signTime is the fixed signing instant every test uses; the package
+// never reads a clock, so tests pin it.
+var signTime = time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+var testCreds = Credentials{
+	AccessKeyID:     "AKIDEXAMPLE",
+	SecretAccessKey: "wJalrXUtnFEMI/K7MDENG+bPxRfiCYEXAMPLEKEY",
+}
+
+// newRequest builds an unsigned request the way the s3 client does.
+func newRequest(method, host, path, rawQuery string) *http.Request {
+	u := &url.URL{Scheme: "http", Host: host, Path: path, RawQuery: rawQuery}
+	return &http.Request{Method: method, URL: u, Host: host, Header: http.Header{}}
+}
+
+// TestKnownAnswer pins the full signing pipeline: the canonical
+// request bytes, the credential scope and the final signature for one
+// fixed GET. Any change to canonicalization or key derivation shows up
+// here first.
+func TestKnownAnswer(t *testing.T) {
+	const entry = "abcd000000000000000000000000000000000000000000000000000000000000"
+	req := newRequest("GET", "s3.example.test:9000", "/simstore/grid/ab/"+entry+".json", "")
+	if err := SignRequest(req, EmptyPayloadHash, testCreds, "us-east-1", "s3", signTime); err != nil {
+		t.Fatal(err)
+	}
+
+	wantCanonical := strings.Join([]string{
+		"GET",
+		"/simstore/grid/ab/" + entry + ".json",
+		"",
+		"host:s3.example.test:9000",
+		"x-amz-content-sha256:" + EmptyPayloadHash,
+		"x-amz-date:20260808T120000Z",
+		"",
+		"host;x-amz-content-sha256;x-amz-date",
+		EmptyPayloadHash,
+	}, "\n")
+	canonical, err := CanonicalRequest(req, EmptyPayloadHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonical != wantCanonical {
+		t.Errorf("canonical request:\n%q\nwant:\n%q", canonical, wantCanonical)
+	}
+
+	wantAuth := "AWS4-HMAC-SHA256 Credential=AKIDEXAMPLE/20260808/us-east-1/s3/aws4_request, " +
+		"SignedHeaders=host;x-amz-content-sha256;x-amz-date, " +
+		"Signature=b2f9898776b466fa03cbaaab8ee6c08af021329fa749e15a4657d4716fb4f14b"
+	if got := req.Header.Get("Authorization"); got != wantAuth {
+		t.Errorf("Authorization:\n%s\nwant:\n%s", got, wantAuth)
+	}
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	lookup := func(akid string) (string, bool) {
+		if akid == testCreds.AccessKeyID {
+			return testCreds.SecretAccessKey, true
+		}
+		return "", false
+	}
+	cases := []struct {
+		name        string
+		method      string
+		path        string
+		rawQuery    string
+		payloadHash string
+	}{
+		{"get", "GET", "/bucket/key.json", "", EmptyPayloadHash},
+		{"put", "PUT", "/bucket/ab/deadbeef.json", "", PayloadHash([]byte("payload"))},
+		{"list", "GET", "/bucket", "list-type=2&prefix=grid%2Fab%2F", EmptyPayloadHash},
+		{"continuation", "GET", "/bucket", "continuation-token=a%20b&list-type=2", EmptyPayloadHash},
+		{"root", "HEAD", "/", "", EmptyPayloadHash},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := newRequest(tc.method, "127.0.0.1:9000", tc.path, tc.rawQuery)
+			if err := SignRequest(req, tc.payloadHash, testCreds, "us-east-1", "s3", signTime); err != nil {
+				t.Fatal(err)
+			}
+			if err := Verify(req, lookup, "us-east-1", "s3"); err != nil {
+				t.Fatalf("Verify rejected a freshly signed request: %v", err)
+			}
+		})
+	}
+}
+
+// TestVerifyRejectsTampering flips each signed input after signing and
+// checks Verify notices.
+func TestVerifyRejectsTampering(t *testing.T) {
+	lookup := func(string) (string, bool) { return testCreds.SecretAccessKey, true }
+	sign := func() *http.Request {
+		req := newRequest("GET", "127.0.0.1:9000", "/bucket/key.json", "list-type=2")
+		if err := SignRequest(req, EmptyPayloadHash, testCreds, "us-east-1", "s3", signTime); err != nil {
+			t.Fatal(err)
+		}
+		return req
+	}
+	tamper := map[string]func(*http.Request){
+		"path":    func(r *http.Request) { r.URL.Path = "/bucket/other.json" },
+		"query":   func(r *http.Request) { r.URL.RawQuery = "list-type=2&extra=1" },
+		"payload": func(r *http.Request) { r.Header.Set("x-amz-content-sha256", PayloadHash([]byte("x"))) },
+		"date":    func(r *http.Request) { r.Header.Set("x-amz-date", "20260808T120001Z") },
+		"host":    func(r *http.Request) { r.Host = "evil.example:9000" },
+		"method":  func(r *http.Request) { r.Method = "PUT" },
+	}
+	for name, mutate := range tamper {
+		t.Run(name, func(t *testing.T) {
+			req := sign()
+			mutate(req)
+			if err := Verify(req, lookup, "us-east-1", "s3"); err == nil {
+				t.Fatal("Verify accepted a tampered request")
+			}
+		})
+	}
+	t.Run("wrong-secret", func(t *testing.T) {
+		req := sign()
+		bad := func(string) (string, bool) { return "other-secret", true }
+		if err := Verify(req, bad, "us-east-1", "s3"); err == nil {
+			t.Fatal("Verify accepted a signature made with another secret")
+		}
+	})
+	t.Run("unknown-akid", func(t *testing.T) {
+		req := sign()
+		none := func(string) (string, bool) { return "", false }
+		if err := Verify(req, none, "us-east-1", "s3"); err == nil {
+			t.Fatal("Verify accepted an unknown access key")
+		}
+	})
+	t.Run("wrong-region", func(t *testing.T) {
+		req := sign()
+		if err := Verify(req, lookup, "eu-west-1", "s3"); err == nil {
+			t.Fatal("Verify accepted a signature scoped to another region")
+		}
+	})
+}
+
+func TestCanonicalRequestRejectsControlCharacters(t *testing.T) {
+	req := newRequest("GET", "127.0.0.1:9000", "/bucket/key.json", "")
+	req.Header.Set("x-amz-date", "2026\r\nX-Injected: yes")
+	req.Header.Set("x-amz-content-sha256", EmptyPayloadHash)
+	if _, err := CanonicalRequest(req, EmptyPayloadHash); err == nil {
+		t.Fatal("CanonicalRequest accepted a header value with CRLF")
+	}
+}
+
+func TestCanonicalRequestRejectsBadQuery(t *testing.T) {
+	for _, q := range []string{"a=%", "a=%zz", "%2", "key=%G1"} {
+		req := newRequest("GET", "127.0.0.1:9000", "/bucket", q)
+		if _, err := CanonicalRequest(req, EmptyPayloadHash); err == nil {
+			t.Errorf("CanonicalRequest accepted malformed query %q", q)
+		}
+	}
+}
+
+func TestEncodePath(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", "/"},
+		{"/", "/"},
+		{"/bucket/key.json", "/bucket/key.json"},
+		{"/bucket/a b", "/bucket/a%20b"},
+		{"/bucket/a+b", "/bucket/a%2Bb"},
+		{"/bucket/é", "/bucket/%C3%A9"},
+		{"/bucket/~tilde_-.ok", "/bucket/~tilde_-.ok"},
+		{"/bucket/per%cent", "/bucket/per%25cent"},
+	}
+	for _, tc := range cases {
+		if got := EncodePath(tc.in); got != tc.want {
+			t.Errorf("EncodePath(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// FuzzCanonicalRequest checks canonical-request construction never
+// panics, is deterministic, and — whenever the request is signable at
+// all — survives a full sign/verify round trip.
+func FuzzCanonicalRequest(f *testing.F) {
+	f.Add("GET", "/bucket/key.json", "", "host.example:9000")
+	f.Add("PUT", "/simstore/grid/ab/cd.json", "", "127.0.0.1:1")
+	f.Add("GET", "/bucket", "list-type=2&prefix=grid%2Fab%2F", "minio.local:9000")
+	f.Add("GET", "/b", "continuation-token=x%20y&list-type=2", "h")
+	f.Add("HEAD", "/", "a=%", "ctrl\r\nhost")
+	f.Add("GET", "/sp ace/\x00", "=&==&k=v", "host")
+	f.Fuzz(func(t *testing.T, method, path, rawQuery, host string) {
+		req := newRequest(method, host, path, rawQuery)
+		c1, err := CanonicalRequest(req, EmptyPayloadHash)
+		if err != nil {
+			return // unsignable input; rejecting is the contract
+		}
+		c2, err := CanonicalRequest(req, EmptyPayloadHash)
+		if err != nil || c1 != c2 {
+			t.Fatalf("canonicalization is not deterministic: %v", err)
+		}
+		if strings.Count(c1, "\n") != 8 {
+			t.Fatalf("canonical request has %d newlines, want 8:\n%q", strings.Count(c1, "\n"), c1)
+		}
+		// strings.Fields-style collapse must leave no raw CR/LF in any line.
+		if strings.ContainsAny(c1, "\r") {
+			t.Fatalf("canonical request contains CR:\n%q", c1)
+		}
+		if err := SignRequest(req, EmptyPayloadHash, testCreds, "us-east-1", "s3", signTime); err != nil {
+			return
+		}
+		lookup := func(string) (string, bool) { return testCreds.SecretAccessKey, true }
+		if err := Verify(req, lookup, "us-east-1", "s3"); err != nil {
+			t.Fatalf("verify rejected a request this package signed: %v", err)
+		}
+	})
+}
+
+// FuzzS3Key checks the path/key escaping used for object keys: the
+// encoded form uses only URL-safe bytes, decodes back to the input,
+// and query-component encoding never leaks a raw slash.
+func FuzzS3Key(f *testing.F) {
+	f.Add("grid/ab/deadbeef.json")
+	f.Add("pre fix/with space")
+	f.Add("per%cent/and+plus")
+	f.Add("\x00\xff\r\n")
+	f.Add("unicode/é世界")
+	f.Add("~tilde_-.ok/seg")
+	f.Fuzz(func(t *testing.T, key string) {
+		enc := uriEncode(key, true)
+		for i := 0; i < len(enc); i++ {
+			c := enc[i]
+			ok := (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+				c == '-' || c == '.' || c == '_' || c == '~' || c == '/' || c == '%'
+			if !ok {
+				t.Fatalf("uriEncode(%q) leaked unsafe byte %q in %q", key, c, enc)
+			}
+		}
+		dec, err := unescape(enc)
+		if err != nil {
+			t.Fatalf("unescape(uriEncode(%q)) failed: %v", key, err)
+		}
+		if dec != key {
+			t.Fatalf("escape round trip: %q -> %q -> %q", key, enc, dec)
+		}
+		if q := uriEncode(key, false); strings.Contains(q, "/") {
+			t.Fatalf("query-component encoding of %q leaked a raw slash: %q", key, q)
+		}
+	})
+}

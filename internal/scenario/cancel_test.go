@@ -53,7 +53,7 @@ func TestCancelMidGridLeavesStoreConsistent(t *testing.T) {
 		t.Fatal("no completed cells reached the store before the cancel")
 	}
 	for _, req := range m.Requests {
-		if res, ok := store.Load(sim.Key(req)); ok && (res == nil || res.S.Cycles == 0) {
+		if res, ok := store.Load(context.Background(), sim.Key(req)); ok && (res == nil || res.S.Cycles == 0) {
 			t.Fatalf("store holds a partial entry for %s", req.Bench)
 		}
 	}

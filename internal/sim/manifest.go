@@ -1,15 +1,14 @@
 package sim
 
 import (
+	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
 	"strconv"
-	"strings"
 )
 
 // The Merkle manifest over the sharded content-addressed store: a
@@ -203,13 +202,14 @@ func DecodeManifest(data []byte) (*Manifest, error) {
 }
 
 // Manifest computes the store's current Merkle manifest. Shard digests
-// are cached per shard and revalidated against the shard directory's
-// mtime, so the first call scans the whole store and later calls
+// are cached per shard and revalidated against the backend's generation
+// token, so the first call scans the whole store and later calls
 // re-read only shards that changed — including changes made by other
-// processes sharing the directory, which is what lets a long-running
+// processes sharing the backend, which is what lets a long-running
 // service answer manifest walks cheaply while a sync pushes entries
-// underneath it.
-func (s *Store) Manifest() (*Manifest, error) {
+// underneath it. Backends without generation tokens (s3) re-list every
+// time, but per-entry ETag caching still avoids re-fetching bytes.
+func (s *Store) Manifest(ctx context.Context) (*Manifest, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m := &Manifest{
@@ -219,7 +219,7 @@ func (s *Store) Manifest() (*Manifest, error) {
 		Shards:     make([]string, ShardCount),
 	}
 	for i := 0; i < ShardCount; i++ {
-		entries, digest, err := s.shardStateLocked(shardName(i))
+		entries, digest, err := s.shardStateLocked(ctx, shardName(i))
 		if err != nil {
 			return nil, err
 		}
@@ -230,17 +230,16 @@ func (s *Store) Manifest() (*Manifest, error) {
 	return m, nil
 }
 
-// ShardList returns the entries of one shard (by its two-hex directory
-// name), sorted by entry name — one Merkle leaf's preimage, which is
-// what two hosts exchange for the few shards a diff walk found to
-// differ.
-func (s *Store) ShardList(shard string) ([]ShardEntry, error) {
+// ShardList returns the entries of one shard (by its two-hex name),
+// sorted by entry name — one Merkle leaf's preimage, which is what two
+// hosts exchange for the few shards a diff walk found to differ.
+func (s *Store) ShardList(ctx context.Context, shard string) ([]ShardEntry, error) {
 	if !isHex(shard, 2) {
 		return nil, fmt.Errorf("sim: bad shard name %q: want two hex characters", shard)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	entries, _, err := s.shardStateLocked(shard)
+	entries, _, err := s.shardStateLocked(ctx, shard)
 	if err != nil {
 		return nil, err
 	}
@@ -250,11 +249,11 @@ func (s *Store) ShardList(shard string) ([]ShardEntry, error) {
 // ReadRaw returns the raw envelope bytes of the entry named name (the
 // 64-hex key digest), exactly as stored — the transfer unit of a sync.
 // A missing entry returns an error wrapping fs.ErrNotExist.
-func (s *Store) ReadRaw(name string) ([]byte, error) {
+func (s *Store) ReadRaw(ctx context.Context, name string) ([]byte, error) {
 	if !isHex(name, 64) {
 		return nil, fmt.Errorf("sim: bad entry name %q: want 64 hex characters", name)
 	}
-	data, err := os.ReadFile(filepath.Join(s.dir, name[:2], name+".json"))
+	data, err := s.backend.Get(ctx, name)
 	if err != nil {
 		return nil, fmt.Errorf("sim: reading store entry %s: %w", name, err)
 	}
@@ -266,12 +265,18 @@ func (s *Store) ReadRaw(name string) ([]byte, error) {
 // schema and this process's simulator version, and must carry a
 // completed result under a key whose digest determines — and therefore
 // proves — the entry's name. The accepted envelope is re-encoded in the
-// same canonical form Put writes, so the bytes on disk — and with them
+// same canonical form Put writes, so the stored bytes — and with them
 // the shard digests and the Merkle root — do not depend on how the
 // transport formatted the JSON in flight. The validated name is
-// returned; writing is the same atomic temp+rename as Put, so
-// concurrent readers never observe partial entries.
-func (s *Store) PutRaw(data []byte) (string, error) {
+// returned.
+//
+// The write is conditional: a peer's entry never clobbers an existing
+// one (first writer wins, and with canonical encoding the bytes are
+// identical anyway). If an existing entry's bytes genuinely differ —
+// which means one side is corrupt — the validated peer copy replaces
+// it, so repeated syncs converge on one root instead of disagreeing
+// forever.
+func (s *Store) PutRaw(ctx context.Context, data []byte) (string, error) {
 	var e envelope
 	if err := json.Unmarshal(data, &e); err != nil {
 		return "", fmt.Errorf("sim: sync envelope does not parse: %w", err)
@@ -289,60 +294,83 @@ func (s *Store) PutRaw(data []byte) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	d := sha256.Sum256([]byte(e.Key))
-	name := hex.EncodeToString(d[:])
-	if err := s.writeEntry(filepath.Join(s.dir, name[:2], name+".json"), canonical); err != nil {
+	name := entryName(e.Key)
+	stored, err := s.backend.PutIfAbsent(ctx, name, canonical)
+	if err != nil {
 		return "", err
+	}
+	if !stored {
+		existing, err := s.backend.Get(ctx, name)
+		if err != nil || !bytes.Equal(existing, canonical) {
+			if err := s.backend.Put(ctx, name, canonical); err != nil {
+				return "", err
+			}
+		} else {
+			return name, nil // identical bytes already present
+		}
 	}
 	s.invalidate(name[:2])
 	return name, nil
 }
 
 // shardStateLocked returns one shard's sorted entry list and digest,
-// served from the per-shard cache when the shard directory's mtime is
-// unchanged since the cached scan. Callers hold s.mu.
-func (s *Store) shardStateLocked(shard string) ([]ShardEntry, string, error) {
-	dir := filepath.Join(s.dir, shard)
-	st, err := os.Stat(dir)
+// served from the per-shard cache when the backend's generation token
+// for the shard is unchanged since the cached scan. Callers hold s.mu.
+func (s *Store) shardStateLocked(ctx context.Context, shard string) ([]ShardEntry, string, error) {
+	// Read the generation before listing: a write landing mid-scan moves
+	// the token past this value, so the next Manifest call rescans —
+	// conservative, never stale.
+	gen, genOK := s.backend.Generation(ctx, shard)
+	prev := s.shards[shard]
+	if prev != nil && prev.valid && prev.genOK && genOK && prev.gen == gen {
+		return prev.entries, prev.digest, nil
+	}
+	objs, err := s.backend.List(ctx, shard)
 	if err != nil {
-		if os.IsNotExist(err) {
-			return nil, emptyShardDigest(), nil
-		}
-		return nil, "", fmt.Errorf("sim: stat shard %s: %w", shard, err)
+		return nil, "", fmt.Errorf("sim: listing shard %s: %w", shard, err)
 	}
-	if c, ok := s.shards[shard]; ok && c.valid && c.mtime.Equal(st.ModTime()) {
-		return c.entries, c.digest, nil
+	if len(objs) == 0 {
+		// An absent shard and an empty one are deliberately
+		// indistinguishable.
+		s.cacheShard(shard, &shardCache{gen: gen, genOK: genOK, digest: emptyShardDigest(), valid: true})
+		return nil, emptyShardDigest(), nil
 	}
-	// Read the mtime before scanning: a write landing mid-scan bumps it
-	// past this value, so the next Manifest call rescans — conservative,
-	// never stale.
-	mtime := st.ModTime()
-	des, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, "", fmt.Errorf("sim: reading shard %s: %w", shard, err)
-	}
-	var entries []ShardEntry
+	entries := make([]ShardEntry, 0, len(objs))
+	digests := make(map[string]entryDigest, len(objs))
 	h := sha256.New()
-	for _, de := range des { // ReadDir sorts by name
-		stem := strings.TrimSuffix(de.Name(), ".json")
-		if len(stem) == len(de.Name()) || !isHex(stem, 64) {
-			continue // temp files and foreign droppings are not entries
+	for _, obj := range objs { // List returns name-sorted entries
+		digest := obj.SHA256
+		if digest == "" && prev != nil && obj.ETag != "" {
+			// No digest hint: reuse the previous scan's digest when the
+			// backend's ETag proves the bytes are unchanged.
+			if c, ok := prev.digests[obj.Name]; ok && c.etag == obj.ETag {
+				digest = c.digest
+			}
 		}
-		data, err := os.ReadFile(filepath.Join(dir, de.Name()))
-		if err != nil {
-			continue // deleted mid-scan: the mtime bump forces a rescan
+		if digest == "" {
+			data, err := s.backend.Get(ctx, obj.Name)
+			if err != nil {
+				continue // deleted mid-scan: the generation move forces a rescan
+			}
+			d := sha256.Sum256(data)
+			digest = hex.EncodeToString(d[:])
 		}
-		d := sha256.Sum256(data)
-		e := ShardEntry{Name: stem, Digest: hex.EncodeToString(d[:])}
+		e := ShardEntry{Name: obj.Name, Digest: digest}
 		entries = append(entries, e)
+		digests[obj.Name] = entryDigest{etag: obj.ETag, digest: digest}
 		h.Write([]byte(e.Name + " " + e.Digest + "\n"))
 	}
 	digest := hex.EncodeToString(h.Sum(nil))
+	s.cacheShard(shard, &shardCache{gen: gen, genOK: genOK, digest: digest, entries: entries, digests: digests, valid: true})
+	return entries, digest, nil
+}
+
+// cacheShard records one shard's freshly scanned state.
+func (s *Store) cacheShard(shard string, c *shardCache) {
 	if s.shards == nil {
 		s.shards = make(map[string]*shardCache)
 	}
-	s.shards[shard] = &shardCache{mtime: mtime, digest: digest, entries: entries, valid: true}
-	return entries, digest, nil
+	s.shards[shard] = c
 }
 
 // invalidate drops the shard's cached digest after a local write.

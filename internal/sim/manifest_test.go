@@ -14,7 +14,7 @@ import (
 func putKeys(t *testing.T, s *Store, keys []string) {
 	t.Helper()
 	for _, k := range keys {
-		if err := s.Put(k, storeResult(k)); err != nil {
+		if err := s.Put(bg, k, storeResult(k)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -59,7 +59,7 @@ func diffShards(t *testing.T, a, b *Manifest) map[string]bool {
 // through DecodeManifest.
 func TestManifestEmptyStore(t *testing.T) {
 	s := NewStore(filepath.Join(t.TempDir(), "never-created"))
-	m, err := s.Manifest()
+	m, err := s.Manifest(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,15 +94,15 @@ func TestManifestDeterministicAcrossStores(t *testing.T) {
 	putKeys(t, s1, keys)
 	// Different insertion order must not matter.
 	for i := len(keys) - 1; i >= 0; i-- {
-		if err := s2.Put(keys[i], storeResult(keys[i])); err != nil {
+		if err := s2.Put(bg, keys[i], storeResult(keys[i])); err != nil {
 			t.Fatal(err)
 		}
 	}
-	m1, err := s1.Manifest()
+	m1, err := s1.Manifest(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	m2, err := s2.Manifest()
+	m2, err := s2.Manifest(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestManifestRootFlipsOnMutation(t *testing.T) {
 	s := NewStore(t.TempDir())
 	keys := []string{"k-0", "k-1", "k-2", "k-3", "k-4", "k-5", "k-6", "k-7"}
 	putKeys(t, s, keys)
-	before, err := s.Manifest()
+	before, err := s.Manifest(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestManifestRootFlipsOnMutation(t *testing.T) {
 		if err := os.WriteFile(path, mutated, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		after, err := NewStore(s.Dir()).Manifest()
+		after, err := NewStore(s.Dir()).Manifest(bg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -164,7 +164,7 @@ func TestManifestRootFlipsOnMutation(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	restored, err := NewStore(s.Dir()).Manifest()
+	restored, err := NewStore(s.Dir()).Manifest(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,11 +202,11 @@ func TestManifestDiffFindsSymmetricDifference(t *testing.T) {
 		}
 		// A shard can host both a common key and an only-X key; the diff
 		// must still flag it (handled above: expect is keyed by shard).
-		ma, err := a.Manifest()
+		ma, err := a.Manifest(bg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		mb, err := b.Manifest()
+		mb, err := b.Manifest(bg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -232,7 +232,7 @@ func TestManifestDiffFindsSymmetricDifference(t *testing.T) {
 func TestManifestNodeConsistency(t *testing.T) {
 	s := NewStore(t.TempDir())
 	putKeys(t, s, []string{"x-1", "y-2", "z-3"})
-	m, err := s.Manifest()
+	m, err := s.Manifest(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +296,7 @@ func TestManifestSeesExternalWrites(t *testing.T) {
 	dir := t.TempDir()
 	mine := NewStore(dir)
 	putKeys(t, mine, []string{"warm-1", "warm-2"})
-	before, err := mine.Manifest()
+	before, err := mine.Manifest(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +304,7 @@ func TestManifestSeesExternalWrites(t *testing.T) {
 	other := NewStore(dir)
 	putKeys(t, other, []string{"external-1"})
 
-	after, err := mine.Manifest()
+	after, err := mine.Manifest(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,34 +324,34 @@ func TestPutRawValidation(t *testing.T) {
 	src := NewStore(t.TempDir())
 	putKeys(t, src, []string{"donor-key"})
 	donorName := strings.TrimSuffix(filepath.Base(src.Path("donor-key")), ".json")
-	raw, err := src.ReadRaw(donorName)
+	raw, err := src.ReadRaw(bg, donorName)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	dst := NewStore(t.TempDir())
-	name, err := dst.PutRaw(raw)
+	name, err := dst.PutRaw(bg, raw)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if name != donorName {
 		t.Fatalf("PutRaw stored under %q, want the key-derived name %q", name, donorName)
 	}
-	back, err := dst.ReadRaw(name)
+	back, err := dst.ReadRaw(bg, name)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if string(back) != string(raw) {
 		t.Fatal("PutRaw did not store the envelope verbatim")
 	}
-	if res, ok := dst.Load("donor-key"); !ok || res.Bench != "donor-key" {
+	if res, ok := dst.Load(bg, "donor-key"); !ok || res.Bench != "donor-key" {
 		t.Fatalf("synced entry not loadable: ok=%v res=%+v", ok, res)
 	}
-	ms, err := src.Manifest()
+	ms, err := src.Manifest(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	md, err := dst.Manifest()
+	md, err := dst.Manifest(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -361,7 +361,7 @@ func TestPutRawValidation(t *testing.T) {
 
 	reject := func(label string, data []byte) {
 		t.Helper()
-		if _, err := dst.PutRaw(data); err == nil {
+		if _, err := dst.PutRaw(bg, data); err == nil {
 			t.Errorf("PutRaw accepted %s", label)
 		}
 	}
@@ -395,11 +395,11 @@ func TestPutRawValidation(t *testing.T) {
 func FuzzDecodeManifest(f *testing.F) {
 	s := NewStore(f.TempDir())
 	for _, k := range []string{"seed-a", "seed-b"} {
-		if err := s.Put(k, storeResult(k)); err != nil {
+		if err := s.Put(bg, k, storeResult(k)); err != nil {
 			f.Fatal(err)
 		}
 	}
-	m, err := s.Manifest()
+	m, err := s.Manifest(bg)
 	if err != nil {
 		f.Fatal(err)
 	}

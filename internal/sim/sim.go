@@ -28,7 +28,8 @@
 //   - an in-memory result store (the simulator is deterministic, so a
 //     result never goes stale) with an optional sharded on-disk store
 //     (see Store) so separate invocations — and separate concurrent
-//     processes sharing one -cachedir — reuse each other's runs. Only
+//     processes or machines sharing one -store — reuse each other's
+//     runs. Only
 //     completed simulations are written back, so an interrupted run
 //     never leaves partial entries.
 package sim
@@ -133,8 +134,12 @@ func WithWorkers(n int) Option {
 	}
 }
 
-// WithCacheDir enables the sharded on-disk result store under dir (see
-// Store). An empty dir leaves the disk cache off.
+// WithCacheDir enables the filesystem-backed result store under dir
+// (see Store). An empty dir leaves the store off.
+//
+// Deprecated: WithCacheDir predates the pluggable storage seam; new
+// code should open a store from its -store spec (OpenStore / the
+// internal/storeflag block) and pass it via WithStore.
 func WithCacheDir(dir string) Option {
 	return func(r *Runner) {
 		if dir != "" {
@@ -246,7 +251,7 @@ func New(opts ...Option) *Runner {
 }
 
 // cacheVersion tags disk-cache filenames with the simulator's identity,
-// so a long-lived -cachedir is invalidated automatically when the
+// so a long-lived -store is invalidated automatically when the
 // simulator changes instead of silently serving stale results. A clean
 // VCS build is tagged with its revision (stable across rebuilds of the
 // same commit); anything else — go run, test binaries, dirty trees —
@@ -383,7 +388,7 @@ func (r *Runner) do(ctx context.Context, idx int, req Request) Event {
 // core.RunContext, inside the simulation itself; only a completed
 // simulation reaches the on-disk store.
 func (r *Runner) fill(ctx context.Context, key string, req Request) (*Result, Source, float64, error) {
-	if res, ok := r.loadDisk(key); ok {
+	if res, ok := r.loadDisk(ctx, key); ok {
 		r.mu.Lock()
 		r.ctr.DiskHits++
 		r.mu.Unlock()
@@ -413,7 +418,7 @@ func (r *Runner) fill(ctx context.Context, key string, req Request) (*Result, So
 	r.mu.Lock()
 	r.ctr.Simulated++
 	r.mu.Unlock()
-	r.storeDisk(key, res)
+	r.storeDisk(ctx, key, res)
 	return res, SourceSimulated, cps, nil
 }
 
@@ -562,17 +567,20 @@ func Snapshot(bench string, staticUops int, c *core.Core, st *core.Stats) *Resul
 
 // --- on-disk cache ------------------------------------------------------
 
-func (r *Runner) loadDisk(key string) (*Result, bool) {
+func (r *Runner) loadDisk(ctx context.Context, key string) (*Result, bool) {
 	if r.store == nil {
 		return nil, false
 	}
-	return r.store.Load(key)
+	return r.store.Load(ctx, key)
 }
 
 // storeDisk writes res to the attached store, if any. Cache write
-// failures are ignored: the in-memory result is already correct.
-func (r *Runner) storeDisk(key string, res *Result) {
+// failures are ignored: the in-memory result is already correct. The
+// write runs with the caller's cancellation stripped: the simulation
+// already completed, and dropping its result because the requester
+// went away would waste the work for every future requester.
+func (r *Runner) storeDisk(ctx context.Context, key string, res *Result) {
 	if r.store != nil {
-		r.store.Put(key, res)
+		r.store.Put(context.WithoutCancel(ctx), key, res)
 	}
 }

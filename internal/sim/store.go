@@ -1,55 +1,79 @@
 package sim
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
-	"os"
 	"path/filepath"
 	"sync"
-	"time"
+
+	"repro/internal/objstore"
 )
 
-// storeSchema tags the on-disk envelope layout. Bump it when the envelope
+// storeSchema tags the envelope layout. Bump it when the envelope
 // or Result shape changes incompatibly; entries with another schema are
 // treated as misses and eventually overwritten.
 const storeSchema = "rs1"
 
-// Store is the sharded, content-addressed on-disk result store behind
-// WithCacheDir. One store directory can be shared by many concurrent
-// processes (and by grids of many thousands of cells):
+// Store is the sharded, content-addressed result store behind the
+// -store flag (and the deprecated WithCacheDir). It is a thin envelope-validation
+// layer over a pluggable objstore.Backend — the local filesystem, an
+// in-process map, or an s3/MinIO bucket shared by a whole fleet — and
+// one store (or one shared bucket) can serve many concurrent processes
+// and grids of many thousands of cells:
 //
-//   - entries are addressed by the request's content — the file name is
+//   - entries are addressed by the request's content — the entry name is
 //     the SHA-256 digest of the sim.Key, so identical requests from any
-//     process land on the same file and distinct requests never collide;
-//   - files fan out into 256 shard directories keyed by the digest's
-//     first byte, keeping any single directory small even for very large
-//     grids;
-//   - writes go through a temp file + rename in the target shard, so a
-//     reader never observes a partial entry;
+//     process land on the same entry and distinct requests never collide;
+//   - entries fan out into 256 shards keyed by the digest's first byte,
+//     keeping any single shard small even for very large grids;
+//   - backends write atomically (temp+rename on fs, conditional PUT on
+//     s3), so a reader never observes a partial entry;
 //   - every entry carries a versioned header (store schema + simulator
 //     identity + the full key); a mismatch on any of them is a miss, so
-//     a long-lived store directory survives simulator rebuilds without
-//     ever serving stale or foreign results.
+//     a long-lived store survives simulator rebuilds without ever
+//     serving stale or foreign results.
+//
+// The envelope bytes are canonical (MarshalIndent of a fixed header
+// plus the Result), so two stores holding the same results under the
+// same simulator version are byte-identical across backends — which is
+// what makes the Merkle manifest (manifest.go) comparable between an
+// fs host and an s3 bucket.
 type Store struct {
-	dir string
+	backend objstore.Backend
+	dir     string // fs root when filesystem-backed, "" otherwise
 
 	// Per-shard digest cache behind the Merkle manifest (manifest.go):
-	// a shard's scan is reused as long as the shard directory's mtime
-	// is unchanged, and local writes invalidate it eagerly.
+	// a shard's scan is reused as long as the backend's generation
+	// token for the shard is unchanged, and local writes invalidate it
+	// eagerly. Backends without generations (s3) revalidate via List
+	// and per-entry ETags instead.
 	mu     sync.Mutex
 	shards map[string]*shardCache
 }
 
 // shardCache is one shard's cached manifest state.
 type shardCache struct {
-	mtime   time.Time
+	gen     string
+	genOK   bool
 	digest  string
 	entries []ShardEntry
+	// digests caches entry digests by name, validated by the ETag the
+	// backend reported when the digest was computed — what lets a
+	// hint-less backend (s3) skip per-entry fetches on rescan.
+	digests map[string]entryDigest
 	valid   bool
 }
 
-// envelope is the on-disk entry format: a versioned header wrapped
+// entryDigest is one cached entry digest plus the ETag that validates
+// it.
+type entryDigest struct {
+	etag   string
+	digest string
+}
+
+// envelope is the stored entry format: a versioned header wrapped
 // around the cached Result.
 //
 //repro:wire
@@ -61,27 +85,77 @@ type envelope struct {
 }
 
 // NewStore opens (lazily — no I/O happens until the first access) the
-// store rooted at dir.
+// filesystem-backed store rooted at dir.
 func NewStore(dir string) *Store {
-	return &Store{dir: dir}
+	return &Store{backend: objstore.Meter(objstore.NewFS(dir)), dir: dir}
 }
 
-// Dir returns the store's root directory.
+// NewStoreWith wraps an existing backend in a Store.
+func NewStoreWith(b objstore.Backend) *Store {
+	s := &Store{backend: b}
+	inner := b
+	if m, ok := b.(*objstore.Metered); ok {
+		inner = m.Backend
+	}
+	if f, ok := inner.(*objstore.FS); ok {
+		s.dir = f.Root()
+	}
+	return s
+}
+
+// OpenStore builds a store from its -store spec (fs:DIR, mem:, or
+// s3://bucket/prefix — see objstore.New). An empty spec returns a nil
+// store and no error: storage off.
+func OpenStore(spec string, opts ...objstore.Option) (*Store, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	m, err := objstore.New(spec, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return NewStoreWith(m), nil
+}
+
+// Spec describes the store's backend in -store spec form.
+func (s *Store) Spec() string { return s.backend.String() }
+
+// TierStats returns the backend's operation counters when the backend
+// is metered (every Store built by NewStore / OpenStore is), or zeros.
+func (s *Store) TierStats() objstore.TierStats {
+	if m, ok := s.backend.(*objstore.Metered); ok {
+		return m.Stats()
+	}
+	return objstore.TierStats{}
+}
+
+// Close releases the backend's resources.
+func (s *Store) Close() error { return s.backend.Close() }
+
+// Dir returns the store's root directory when it is filesystem-backed,
+// "" otherwise.
 func (s *Store) Dir() string { return s.dir }
 
-// Path returns the entry path for key: <dir>/<shard>/<digest>.json where
-// shard is the first byte of the key's SHA-256 digest.
-func (s *Store) Path(key string) string {
+// entryName returns the 64-hex entry name for key.
+func entryName(key string) string {
 	d := sha256.Sum256([]byte(key))
-	digest := hex.EncodeToString(d[:])
-	return filepath.Join(s.dir, digest[:2], digest+".json")
+	return hex.EncodeToString(d[:])
+}
+
+// Path returns the entry path for key on a filesystem-backed store:
+// <dir>/<shard>/<digest>.json where shard is the first byte of the
+// key's SHA-256 digest. Only meaningful when Dir() is non-empty; tests
+// use it to inspect and tamper with raw entries.
+func (s *Store) Path(key string) string {
+	name := entryName(key)
+	return filepath.Join(s.dir, name[:2], name+".json")
 }
 
 // Load returns the stored result for key, or false on any miss: absent
-// entry, unreadable or partial JSON, or a header whose schema, simulator
-// version or key does not match.
-func (s *Store) Load(key string) (*Result, bool) {
-	data, err := os.ReadFile(s.Path(key))
+// entry, unreadable or partial JSON, a backend error, or a header whose
+// schema, simulator version or key does not match.
+func (s *Store) Load(ctx context.Context, key string) (*Result, bool) {
+	data, err := s.backend.Get(ctx, entryName(key))
 	if err != nil {
 		return nil, false
 	}
@@ -95,12 +169,12 @@ func (s *Store) Load(key string) (*Result, bool) {
 	return e.Result, true
 }
 
-// Put writes res under key atomically (temp file + rename inside the
-// shard directory). Errors are returned for tests and diagnostics, but
-// callers holding the in-memory result may ignore them: a failed cache
-// write never affects correctness.
-func (s *Store) Put(key string, res *Result) error {
-	path := s.Path(key)
+// Put writes res under key atomically, replacing any existing entry —
+// an entry whose envelope header went stale (other schema or simulator
+// version) must be rewritable in place. Errors are returned for tests
+// and diagnostics, but callers holding the in-memory result may ignore
+// them: a failed cache write never affects correctness.
+func (s *Store) Put(ctx context.Context, key string, res *Result) error {
 	data, err := json.MarshalIndent(envelope{
 		Schema:     storeSchema,
 		SimVersion: cacheVersion(),
@@ -110,51 +184,24 @@ func (s *Store) Put(key string, res *Result) error {
 	if err != nil {
 		return err
 	}
-	if err := s.writeEntry(path, data); err != nil {
+	name := entryName(key)
+	if err := s.backend.Put(ctx, name, data); err != nil {
 		return err
 	}
-	s.invalidate(filepath.Base(filepath.Dir(path)))
+	s.invalidate(name[:2])
 	return nil
 }
 
-// writeEntry writes one entry file atomically: temp file + rename in
-// the target shard directory, so a reader never observes a partial
-// entry. Put and PutRaw share it, which keeps local and synced entries
-// byte-equivalent on disk.
-func (s *Store) writeEntry(path string, data []byte) error {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return err
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".put*")
-	if err != nil {
-		return err
-	}
-	_, werr := tmp.Write(data)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		if werr != nil {
-			return werr
-		}
-		return cerr
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return nil
-}
-
-// Len walks the store and returns the number of entries on disk,
-// regardless of schema or simulator version. Intended for tests and
-// diagnostics, not hot paths.
+// Len returns the number of entries in the store, regardless of schema
+// or simulator version. Intended for tests and diagnostics, not hot
+// paths, which is why it takes no context.
 func (s *Store) Len() int {
 	n := 0
-	filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
-		if err == nil && !d.IsDir() && filepath.Ext(path) == ".json" {
-			n++
+	for i := 0; i < ShardCount; i++ {
+		objs, err := s.backend.List(context.Background(), shardName(i))
+		if err == nil {
+			n += len(objs)
 		}
-		return nil
-	})
+	}
 	return n
 }

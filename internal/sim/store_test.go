@@ -18,10 +18,10 @@ func TestStoreRoundTrip(t *testing.T) {
 	s := NewStore(t.TempDir())
 	key := "crafty-1000-8000-0011223344556677"
 	want := storeResult("crafty")
-	if err := s.Put(key, want); err != nil {
+	if err := s.Put(bg, key, want); err != nil {
 		t.Fatal(err)
 	}
-	got, ok := s.Load(key)
+	got, ok := s.Load(bg, key)
 	if !ok {
 		t.Fatal("entry not found after Put")
 	}
@@ -41,7 +41,7 @@ func TestStoreShardFanOut(t *testing.T) {
 	s := NewStore(dir)
 	keys := []string{"a-1-2-x", "b-3-4-y", "c-5-6-z", "d-7-8-w"}
 	for _, k := range keys {
-		if err := s.Put(k, storeResult(k)); err != nil {
+		if err := s.Put(bg, k, storeResult(k)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -76,7 +76,7 @@ func TestStoreShardFanOut(t *testing.T) {
 func TestStoreVersionedHeader(t *testing.T) {
 	s := NewStore(t.TempDir())
 	key := "crafty-1-2-abc"
-	if err := s.Put(key, storeResult("crafty")); err != nil {
+	if err := s.Put(bg, key, storeResult("crafty")); err != nil {
 		t.Fatal(err)
 	}
 
@@ -98,21 +98,21 @@ func TestStoreVersionedHeader(t *testing.T) {
 	}
 
 	tamper(func(e *envelope) { e.Schema = "rs0" })
-	if _, ok := s.Load(key); ok {
+	if _, ok := s.Load(bg, key); ok {
 		t.Fatal("foreign store schema served as a hit")
 	}
-	if err := s.Put(key, storeResult("crafty")); err != nil {
+	if err := s.Put(bg, key, storeResult("crafty")); err != nil {
 		t.Fatal(err)
 	}
 	tamper(func(e *envelope) { e.SimVersion = "s1-someoldbuild" })
-	if _, ok := s.Load(key); ok {
+	if _, ok := s.Load(bg, key); ok {
 		t.Fatal("foreign simulator version served as a hit")
 	}
-	if err := s.Put(key, storeResult("crafty")); err != nil {
+	if err := s.Put(bg, key, storeResult("crafty")); err != nil {
 		t.Fatal(err)
 	}
 	tamper(func(e *envelope) { e.Key = "other-1-2-abc" })
-	if _, ok := s.Load(key); ok {
+	if _, ok := s.Load(bg, key); ok {
 		t.Fatal("key mismatch (digest collision guard) served as a hit")
 	}
 }

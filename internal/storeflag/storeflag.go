@@ -1,0 +1,76 @@
+// Package storeflag registers the result-store flags every command
+// shares: -store (the objstore spec), the deprecated -cachedir alias,
+// and the s3 knobs (-s3-endpoint, -store-cache). Centralizing the
+// parsing keeps the flag contract — and the deprecation warning —
+// identical across cmd/sweep, cmd/bench, cmd/regshared, cmd/loadgen,
+// cmd/regsim, cmd/paperfigs and cmd/storagecost.
+package storeflag
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/objstore"
+	"repro/internal/sim"
+)
+
+// Flags holds the registered flag values until Open resolves them.
+type Flags struct {
+	store     *string
+	cachedir  *string
+	endpoint  *string
+	cacheTier *string
+
+	// Warn receives the -cachedir deprecation warning (default
+	// os.Stderr; tests substitute a buffer).
+	Warn io.Writer
+}
+
+// Register installs the store flags on fs and returns the holder to
+// resolve after fs.Parse.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{Warn: os.Stderr}
+	f.store = fs.String("store", "", "result store spec: fs:DIR | mem: | s3://bucket/prefix (empty: storage off)")
+	f.cachedir = fs.String("cachedir", "", "deprecated alias for -store fs:DIR")
+	f.endpoint = fs.String("s3-endpoint", "", "override the s3 endpoint URL for -store s3:// (MinIO / fake server; default AWS_ENDPOINT_URL or the AWS regional endpoint)")
+	f.cacheTier = fs.String("store-cache", "", "local read-through cache directory for a remote -store (s3 misses fill it; ignored for fs:/mem:)")
+	return f
+}
+
+// Spec resolves the flags to one store spec, emitting the -cachedir
+// deprecation warning when the alias was used. An empty spec means
+// storage off.
+func (f *Flags) Spec() (string, error) {
+	if *f.store != "" && *f.cachedir != "" {
+		return "", fmt.Errorf("storeflag: -store and -cachedir are both set; -cachedir is a deprecated alias, use -store %s alone", *f.store)
+	}
+	if *f.cachedir != "" {
+		fmt.Fprintf(f.Warn, "warning: -cachedir is deprecated, use -store fs:%s\n", *f.cachedir)
+		return "fs:" + *f.cachedir, nil
+	}
+	return *f.store, nil
+}
+
+// Options returns the objstore options the s3 knobs imply.
+func (f *Flags) Options() []objstore.Option {
+	var opts []objstore.Option
+	if *f.endpoint != "" {
+		opts = append(opts, objstore.WithEndpoint(*f.endpoint))
+	}
+	if *f.cacheTier != "" {
+		opts = append(opts, objstore.WithLocalCache(*f.cacheTier))
+	}
+	return opts
+}
+
+// Open resolves the flags to a store. A nil store with a nil error
+// means storage off.
+func (f *Flags) Open() (*sim.Store, error) {
+	spec, err := f.Spec()
+	if err != nil {
+		return nil, err
+	}
+	return sim.OpenStore(spec, f.Options()...)
+}

@@ -1,0 +1,86 @@
+package storeflag
+
+import (
+	"flag"
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, args ...string) *Flags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	var warn strings.Builder
+	f.Warn = &warn
+	t.Cleanup(func() {
+		t.Logf("warnings: %q", warn.String())
+	})
+	return f
+}
+
+func TestSpecPassesThrough(t *testing.T) {
+	for _, spec := range []string{"", "fs:/tmp/x", "mem:", "s3://bucket/prefix"} {
+		f := parse(t, "-store", spec)
+		got, err := f.Spec()
+		if err != nil || got != spec {
+			t.Errorf("-store %q resolved to (%q, %v)", spec, got, err)
+		}
+	}
+}
+
+func TestCachedirAliasWarnsAndMaps(t *testing.T) {
+	f := parse(t, "-cachedir", "/tmp/dir")
+	var warn strings.Builder
+	f.Warn = &warn
+	got, err := f.Spec()
+	if err != nil || got != "fs:/tmp/dir" {
+		t.Fatalf("-cachedir resolved to (%q, %v), want fs:/tmp/dir", got, err)
+	}
+	if !strings.Contains(warn.String(), "deprecated") {
+		t.Fatalf("no deprecation warning emitted, got %q", warn.String())
+	}
+	// The warning is once per resolution, on stderr only — stdout
+	// consumers (e.g. -manifest piped to a script) stay clean. Both
+	// flags together are an error, not a silent precedence choice.
+	f2 := parse(t, "-cachedir", "/tmp/dir", "-store", "mem:")
+	if _, err := f2.Spec(); err == nil {
+		t.Fatal("-store and -cachedir together did not error")
+	}
+}
+
+func TestOpenResolvesBackends(t *testing.T) {
+	cases := []struct {
+		args []string
+		spec string
+	}{
+		{[]string{"-store", "fs:" + t.TempDir()}, "fs:"},
+		{[]string{"-store", "mem:"}, "mem:"},
+		{[]string{"-cachedir", t.TempDir()}, "fs:"},
+	}
+	for _, tc := range cases {
+		f := parse(t, tc.args...)
+		s, err := f.Open()
+		if err != nil {
+			t.Fatalf("Open(%v): %v", tc.args, err)
+		}
+		if s == nil || !strings.HasPrefix(s.Spec(), tc.spec) {
+			t.Fatalf("Open(%v) spec = %v, want prefix %q", tc.args, s, tc.spec)
+		}
+		s.Close()
+	}
+
+	// Storage off: no flags, nil store, nil error.
+	f := parse(t)
+	if s, err := f.Open(); s != nil || err != nil {
+		t.Fatalf("Open() with no flags = (%v, %v), want (nil, nil)", s, err)
+	}
+
+	// A bad spec surfaces the objstore error.
+	f = parse(t, "-store", "ftp://nope")
+	if _, err := f.Open(); err == nil {
+		t.Fatal("bad -store spec did not error")
+	}
+}
