@@ -253,7 +253,7 @@ func BenchmarkAblationPrefetcher(b *testing.B) {
 
 // BenchmarkSimulatorThroughput measures raw simulation speed.
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	spec, _ := workloads.ByName("crafty")
+	spec, _ := workloads.Resolve("crafty")
 	prog := workloads.Build(spec)
 	c := core.New(Combined(32), prog)
 	b.ResetTimer()
@@ -312,7 +312,7 @@ func BenchmarkDistancePredict(b *testing.B) {
 
 // BenchmarkWorkloadGeneration measures program construction.
 func BenchmarkWorkloadGeneration(b *testing.B) {
-	spec, _ := workloads.ByName("gcc")
+	spec, _ := workloads.Resolve("gcc")
 	for i := 0; i < b.N; i++ {
 		_ = workloads.Build(spec)
 	}
@@ -320,7 +320,7 @@ func BenchmarkWorkloadGeneration(b *testing.B) {
 
 // BenchmarkFunctionalExecution measures the trace generator.
 func BenchmarkFunctionalExecution(b *testing.B) {
-	spec, _ := workloads.ByName("gcc")
+	spec, _ := workloads.Resolve("gcc")
 	prog := workloads.Build(spec)
 	e := program.NewExecutor(prog)
 	var u isa.Uop

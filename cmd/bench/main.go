@@ -34,9 +34,9 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliflags"
 	"repro/internal/dispatch"
 	"repro/internal/sim"
-	"repro/internal/storeflag"
 )
 
 func main() {
@@ -46,12 +46,17 @@ func main() {
 		out      = flag.String("o", "", "write the JSON report to this file")
 		baseline = flag.String("baseline", "", "earlier BENCH_*.json to embed and compare against")
 		gate     = flag.Float64("gate", 0, "fail (exit 2) when gmean cycles/sec falls below this fraction of the -baseline gmean (0: off)")
-		backendF = flag.String("backend", "local", "execution backend: local | pool:N | http://addr (non-local reports measure delivered backend throughput)")
 		label    = flag.String("label", "", "free-form label recorded in the report")
 		list     = flag.Bool("list", false, "print the pinned points and exit")
 	)
-	sf := storeflag.Register(flag.CommandLine)
+	rf := cliflags.RegisterRunnerFlags(flag.CommandLine,
+		cliflags.WithBackendHelp("execution backend: local | pool:N | http://addr (non-local reports measure delivered backend throughput)"))
 	flag.Parse()
+	backendSpec := rf.BackendSpec()
+
+	if rf.PrintVersion(os.Stdout) {
+		return
+	}
 
 	points := sim.BenchPoints(*quick)
 	if *list {
@@ -65,7 +70,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench: -gate needs a -baseline to compare against")
 		os.Exit(1)
 	}
-	if *gate > 0 && *backendF != "" && *backendF != "local" {
+	if *gate > 0 && backendSpec != "" && backendSpec != "local" {
 		// Backend runs measure delivered throughput (framing, network);
 		// gating those numbers against a simulator-speed baseline
 		// thresholds the backend overhead, not the simulator.
@@ -73,12 +78,12 @@ func main() {
 		os.Exit(1)
 	}
 
-	store, err := sf.Open()
+	store, err := rf.OpenStore()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
-	if store != nil && (*backendF == "" || *backendF == "local") {
+	if store != nil && (backendSpec == "" || backendSpec == "local") {
 		// The in-process measurement times the bare cycle loop; serving
 		// points from a store would measure the store, not the simulator.
 		fmt.Fprintln(os.Stderr, "bench: -store needs a non-local -backend (store-backed runs measure delivered throughput)")
@@ -95,18 +100,18 @@ func main() {
 			done, len(points), r.Bench, r.Tracker, r.Cycles, r.IPC, float64(r.WallNS)/1e6, r.CyclesPerSec)
 	}
 	var rep *sim.BenchReport
-	if *backendF == "" || *backendF == "local" {
+	if backendSpec == "" || backendSpec == "local" {
 		rep, err = sim.RunBench(ctx, points, *quick, progress)
 	} else {
 		var be dispatch.Backend
-		be, err = dispatch.New(*backendF)
+		be, err = dispatch.New(backendSpec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}
 		defer be.Close()
 		exec := be.Execute
-		backendLabel := *backendF
+		backendLabel := backendSpec
 		if store != nil {
 			// Store-first execution: a hit skips the backend entirely, a
 			// miss runs and backfills. The label records the store so the

@@ -52,11 +52,11 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/dispatch"
 	"repro/internal/objstore"
 	"repro/internal/sim"
-	"repro/internal/storeflag"
 )
 
 func main() {
@@ -71,20 +71,23 @@ func main() {
 		bulk     = flag.Int("bulk", 0, "cells per POST /v1/runs batch (0 or 1: per-request POST /v1/run)")
 		check    = flag.Bool("check", false, "smoke mode: exit 1 on any failure or malformed /metrics snapshot")
 	)
-	sf := storeflag.Register(flag.CommandLine)
+	rf := cliflags.RegisterRunnerFlags(flag.CommandLine, cliflags.WithoutBackend())
 	flag.Parse()
 
+	if rf.PrintVersion(os.Stdout) {
+		return
+	}
 	clients, err := parsePoints(*points)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 
-	if spec, err := sf.Spec(); err != nil {
+	if spec, err := rf.Store.Spec(); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	} else if spec != "" {
-		os.Exit(runStoreLoad(spec, sf.Options(), clients, *duration, *grid, *check))
+		os.Exit(runStoreLoad(spec, rf.Store.Options(), clients, *duration, *grid, *check))
 	}
 
 	reqs := buildSweep(*bench, *warmup, *measure, *grid)

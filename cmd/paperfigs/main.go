@@ -27,11 +27,11 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/dispatch"
 	"repro/internal/experiments"
 	"repro/internal/scenario"
 	"repro/internal/sim"
-	"repro/internal/storeflag"
 )
 
 func main() {
@@ -41,28 +41,25 @@ func main() {
 		scen    = flag.String("scenario", "", "run one scenario instead: a builtin name or a .scenario file path")
 		warmup  = flag.Uint64("warmup", experiments.DefaultRunLengths.Warmup, "warmup instructions per run")
 		measure = flag.Uint64("measure", experiments.DefaultRunLengths.Measure, "measured instructions per run")
-		backend = flag.String("backend", "local", "execution backend: local | pool:N | http://addr")
 	)
-	sf := storeflag.Register(flag.CommandLine)
+	rf := cliflags.RegisterRunnerFlags(flag.CommandLine)
 	flag.Parse()
 
-	be, err := dispatch.New(*backend)
+	if rf.PrintVersion(os.Stdout) {
+		return
+	}
+	b, err := rf.Build()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	defer be.Close()
+	defer b.Close()
 
 	// ^C cancels the context; the session's figure methods then panic
 	// with a sim.ErrCanceled-wrapping error, which the deferred recover
 	// turns into a clean exit (completed simulations stay in -store).
 	ctx := sim.SignalContext()
-	store, err := sf.Open()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	runner := sim.New(append(dispatch.Options(be), sim.WithStore(store))...)
+	runner := sim.New(b.RunnerOptions()...)
 	progress := sim.NewProgress(os.Stderr, runner, 0)
 	defer func() {
 		if v := recover(); v != nil {

@@ -44,6 +44,13 @@
 // peer's Merkle tree (O(log shards) hash exchanges), transfers only
 // the envelopes one side is missing — pulls and pushes — and exits.
 //
+// N hosts sharing ONE -store bucket instead drain a fleet-scale grid
+// cooperatively: `regshared -store fs:DIR -drain fleet-grid` leases
+// contiguous cell shards via claim objects in the bucket's lease area
+// (see internal/fleet), simulates its share, and exits with a drain
+// summary — resumable, exactly-once across hosts, with the store's
+// Merkle manifest as the single source of truth.
+//
 // Usage:
 //
 //	regshared -addr :8347 -store fs:/var/lib/regshared
@@ -52,6 +59,7 @@
 //	regshared -simver          # print the store envelope version and exit
 //	regshared -store fs:DIR -manifest       # print the store manifest summary and exit
 //	regshared -store fs:DIR -sync http://peer:8347   # reconcile with a peer and exit
+//	regshared -store fs:DIR -drain fleet-grid -host a   # drain one grid as a fleet host
 //
 // SIGINT/SIGTERM shut the server down gracefully: in-flight requests
 // get 10 seconds to finish (their runner contexts are canceled by the
@@ -70,33 +78,40 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/dispatch"
 	"repro/internal/sim"
-	"repro/internal/storeflag"
 )
 
 func main() {
 	dispatch.MaybeWorker()
 	var (
 		addr        = flag.String("addr", ":8347", "listen address")
-		backend     = flag.String("backend", "local", "execution backend: local | pool:N | batched:local | batched:pool:N")
 		workers     = flag.Int("workers", 0, "cap the runner's concurrent simulations (0: GOMAXPROCS, or the pool size)")
 		maxInflight = flag.Int("max-inflight", 0, "admission: max concurrently executing requests (0: 4×GOMAXPROCS, min 16)")
 		maxQueue    = flag.Int("max-queue", 1024, "admission: max queued requests before 429 + Retry-After (negative: no queue, reject beyond -max-inflight)")
 		recent      = flag.Int("recent", 256, "size of the /v1/requests/recent ring buffer")
-		simver      = flag.Bool("simver", false, "print the simulator version tag (the store envelope simver) and exit")
 		manifest    = flag.Bool("manifest", false, "print the -store store's Merkle manifest summary and exit")
 		syncURL     = flag.String("sync", "", "reconcile the -store store with the regshared at this URL, print the transfer stats, and exit")
+
+		drainSpec  = flag.String("drain", "", "drain a scenario's grid as one fleet host and exit: a builtin name or .scenario path (needs a shared fs:/s3:// -store)")
+		host       = flag.String("host", "", "-drain: this host's name in lease claims (default hostname.pid)")
+		shardCells = flag.Int("shard-cells", 64, "-drain: cells per lease shard (every host draining a grid must agree)")
+		cellRange  = flag.String("cells", "", "-drain: restrict to cell range LO:HI (shard-aligned; default the whole grid)")
+		stalePolls = flag.Int("stale-polls", 30, "-drain: consecutive no-progress polls of a peer's claim before seizing it")
+		poll       = flag.Duration("poll", 2*time.Second, "-drain: pause between poll passes when every remaining shard is held by a live peer")
+		warmup     = flag.Uint64("warmup", 0, "-drain: override the scenario's warmup µops (explicit 0 = no warmup)")
+		measure    = flag.Uint64("measure", 0, "-drain: override the scenario's measured µops")
 	)
-	sf := storeflag.Register(flag.CommandLine)
+	rf := cliflags.RegisterRunnerFlags(flag.CommandLine,
+		cliflags.WithBackendHelp("execution backend: local | pool:N | batched:local | batched:pool:N"))
 	flag.Parse()
 
-	if *simver {
-		fmt.Println(sim.Version())
+	if rf.PrintVersion(os.Stdout) {
 		return
 	}
 	if *manifest || *syncURL != "" {
-		store, err := sf.Open()
+		store, err := rf.OpenStore()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -119,37 +134,51 @@ func main() {
 		return
 	}
 
-	be, err := dispatch.New(*backend)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	if _, ok := be.(*dispatch.HTTP); ok || strings.Contains(*backend, "http://") || strings.Contains(*backend, "https://") {
+	backendSpec := rf.BackendSpec()
+	if strings.Contains(backendSpec, "http://") || strings.Contains(backendSpec, "https://") {
 		// A service proxying to a service invites request loops — most
 		// treacherously to itself, where every /v1/run would re-enter
 		// /v1/run until sockets run out (batched: wrapping does not make
-		// that safe, hence the spec check too). Chain by pointing clients
-		// at the upstream service instead.
+		// that safe, hence the spec check rather than a type check).
+		// Chain by pointing clients at the upstream service instead; the
+		// same holds for a drain host.
 		fmt.Fprintln(os.Stderr, "regshared: an http backend is not allowed here (known: local | pool:N | batched:...)")
 		os.Exit(1)
 	}
-	defer be.Close()
-
-	opts := dispatch.Options(be)
-	store, err := sf.Open()
+	b, err := rf.Build()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if store != nil {
-		opts = append(opts, sim.WithStore(store))
+	if _, ok := b.Backend.(*dispatch.HTTP); ok {
+		fmt.Fprintln(os.Stderr, "regshared: an http backend is not allowed here (known: local | pool:N | batched:...)")
+		os.Exit(1)
 	}
-	if *workers > 0 {
-		opts = append(opts, sim.WithWorkers(*workers))
-	}
-	runner := sim.New(opts...)
+	defer b.Close()
 
-	service := dispatch.NewService(runner, store,
+	var workerOpts []sim.Option
+	if *workers > 0 {
+		workerOpts = append(workerOpts, sim.WithWorkers(*workers))
+	}
+	runner := sim.New(b.RunnerOptions(workerOpts...)...)
+
+	if *drainSpec != "" {
+		if err := runDrain(runner, b.Store, rf, drainConfig{
+			scenario: *drainSpec, host: *host, shardCells: *shardCells,
+			cells: *cellRange, stalePolls: *stalePolls, poll: *poll,
+			warmup: warmup, measure: measure,
+		}); err != nil {
+			if errors.Is(err, sim.ErrCanceled) {
+				fmt.Fprintln(os.Stderr, "interrupted")
+				os.Exit(130)
+			}
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	service := dispatch.NewService(runner, b.Store,
 		dispatch.WithAdmission(*maxInflight, *maxQueue),
 		dispatch.WithRecent(*recent))
 	srv := &http.Server{
@@ -188,7 +217,7 @@ func main() {
 		}
 	}()
 
-	log.Printf("regshared: serving on %s (backend %s, store %s)", *addr, *backend, storeDesc(store))
+	log.Printf("regshared: serving on %s (backend %s, store %s)", *addr, backendSpec, storeDesc(b.Store))
 	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

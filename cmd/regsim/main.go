@@ -24,16 +24,16 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/smb"
-	"repro/internal/storeflag"
 	"repro/internal/workloads"
 )
 
 func main() {
 	var (
-		bench     = flag.String("bench", "crafty", "benchmark name (see -list)")
+		bench     = flag.String("bench", "crafty", "workload name: catalog benchmark or gen:family?k=v (see -list)")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 		me        = flag.Bool("me", false, "enable Move Elimination")
 		smbOn     = flag.Bool("smb", false, "enable Speculative Memory Bypassing")
@@ -50,12 +50,23 @@ func main() {
 		trace     = flag.Uint64("trace", 0, "print a pipeline trace for the first N cycles of measurement")
 		jsonOut   = flag.Bool("json", false, "emit the run's full sim.Result as one JSON object")
 	)
-	sf := storeflag.Register(flag.CommandLine)
+	rf := cliflags.RegisterRunnerFlags(flag.CommandLine, cliflags.WithoutBackend())
 	flag.Parse()
 
+	if rf.PrintVersion(os.Stdout) {
+		return
+	}
+
 	if *list {
-		for _, n := range workloads.Names() {
-			fmt.Println(n)
+		members, _ := workloads.Members("all")
+		for _, m := range members {
+			fmt.Println(m.Name)
+		}
+		for _, g := range workloads.Generators() {
+			fmt.Printf("gen:%s — %s\n", g.Family, g.Doc)
+			for _, p := range g.Params {
+				fmt.Printf("    %s=%v  %s\n", p.Key, p.Def, p.Doc)
+			}
 		}
 		return
 	}
@@ -93,7 +104,7 @@ func main() {
 	if *trace > 0 {
 		res = traceRun(ctx, cfg, *bench, *warmup, *measure, *trace)
 	} else {
-		store, err := sf.Open()
+		store, err := rf.OpenStore()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -159,7 +170,7 @@ func main() {
 // the statistics in the sim.Result shape the printers expect. The
 // warmup and post-trace regions observe ctx like any other run.
 func traceRun(ctx context.Context, cfg core.Config, bench string, warmup, measure, n uint64) *sim.Result {
-	spec, err := workloads.ByName(bench)
+	spec, err := workloads.Resolve(bench)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

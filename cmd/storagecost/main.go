@@ -20,13 +20,13 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/refcount"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/storeflag"
 )
 
 func main() {
@@ -36,8 +36,12 @@ func main() {
 		warmup   = flag.Uint64("warmup", 0, "frontier: override the spec's warmup µops (explicit 0 = no warmup)")
 		measure  = flag.Uint64("measure", 0, "frontier: override the spec's measured µops")
 	)
-	sf := storeflag.Register(flag.CommandLine)
+	rf := cliflags.RegisterRunnerFlags(flag.CommandLine, cliflags.WithoutBackend())
 	flag.Parse()
+
+	if rf.PrintVersion(os.Stdout) {
+		return
+	}
 
 	fmt.Println(experiments.StorageTable())
 	fmt.Println("Paper reference points: Roth matrix ≈7.8KB vs 0.44KB scheduler matrix;")
@@ -62,7 +66,7 @@ func main() {
 	// ^C aborts the frontier sweep mid-simulation; completed cells stay
 	// in the -store store for the next invocation.
 	ctx := sim.SignalContext()
-	store, err := sf.Open()
+	store, err := rf.OpenStore()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

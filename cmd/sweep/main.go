@@ -38,10 +38,10 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliflags"
 	"repro/internal/dispatch"
 	"repro/internal/scenario"
 	"repro/internal/sim"
-	"repro/internal/storeflag"
 )
 
 // exitCanceled handles ^C uniformly: a canceled run reports
@@ -63,12 +63,10 @@ func main() {
 		bench    = flag.String("bench", "", "single benchmark or group (default: the spec's benchmark set)")
 		warmup   = flag.Uint64("warmup", 0, "override the spec's warmup µops (explicit 0 = no warmup)")
 		measure  = flag.Uint64("measure", 0, "override the spec's measured µops")
-		backend  = flag.String("backend", "local", "execution backend: local | pool:N | http://addr")
 		jsonOut  = flag.Bool("json", false, "emit the machine-readable report instead of the table")
-		simver   = flag.Bool("simver", false, "print the simulator version tag (the store envelope simver, CI's store cache key) and exit")
 		verbose  = flag.Bool("v", false, "report runner counters on stderr")
 	)
-	sf := storeflag.Register(flag.CommandLine)
+	rf := cliflags.RegisterRunnerFlags(flag.CommandLine)
 	flag.Parse()
 
 	fail := func(err error) {
@@ -76,8 +74,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	if *simver {
-		fmt.Println(sim.Version())
+	if rf.PrintVersion(os.Stdout) {
 		return
 	}
 
@@ -132,20 +129,12 @@ func main() {
 	// mid-cycle-loop; completed cells are already in the store (if
 	// -store is set), so a re-run resumes where this one stopped.
 	ctx := sim.SignalContext()
-	be, err := dispatch.New(*backend)
+	b, err := rf.Build()
 	if err != nil {
 		fail(err)
 	}
-	defer be.Close()
-	store, err := sf.Open()
-	if err != nil {
-		fail(err)
-	}
-	opts := dispatch.Options(be)
-	if store != nil {
-		opts = append(opts, sim.WithStore(store))
-	}
-	runner := sim.New(opts...)
+	defer b.Close()
+	runner := sim.New(b.RunnerOptions()...)
 	progress := sim.NewProgress(os.Stderr, runner, len(matrix.Requests))
 	rep, err := matrix.Run(ctx, runner, progress.Observe)
 	progress.Finish()

@@ -1,0 +1,101 @@
+// Package depshim keeps the deprecated workloads API shims from
+// re-rooting in the tree. The PR that introduced workloads.Resolve kept
+// Names/IntNames/FPNames/ByName/MustProgram/Group/GroupNames compiling
+// as deprecated wrappers so external callers get a migration window —
+// but an in-repo caller has no such excuse: new code reaching for a
+// shim silently re-couples the tree to an API scheduled for deletion.
+// The analyzer flags every reference to a deprecated workloads symbol
+// outside the workloads package itself, where the shims (and their
+// tests) legitimately live.
+package depshim
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// workloadsPath is the package whose deprecated surface is policed.
+const workloadsPath = "repro/internal/workloads"
+
+// deprecated lists the shim symbols no in-repo code may use. The
+// replacement is named in the diagnostic so the fix needs no doc trip.
+var deprecated = map[string]string{
+	"Names":       `Members("all")`,
+	"IntNames":    `Members("int")`,
+	"FPNames":     `Members("fp")`,
+	"ByName":      "Resolve",
+	"MustProgram": "Resolve + Build",
+	"Group":       "Members",
+	"GroupNames":  "Groups",
+}
+
+// Analyzer is the depshim checker. It is AST-only (NeedsTypes false):
+// the deprecated surface is addressed through the package qualifier, so
+// resolving the import alias is enough.
+var Analyzer = &analysis.Analyzer{
+	Name: "depshim",
+	Doc: "deprecated workloads shims are off limits in-repo. " +
+		"Names/IntNames/FPNames/ByName/MustProgram/Group/GroupNames exist " +
+		"only as a migration window for external callers; in-repo code uses " +
+		"Resolve, Members and Groups.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if strings.HasPrefix(pass.Path, workloadsPath) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		imp := workloadsImport(file)
+		if imp == nil {
+			continue
+		}
+		alias := "workloads"
+		if imp.Name != nil {
+			switch imp.Name.Name {
+			case "_":
+				// A blank import pulls in no symbols; nothing to police.
+				continue
+			case ".":
+				// A dot import would let shim calls appear as bare
+				// identifiers this qualifier-based scan cannot see, so the
+				// import form itself is the finding.
+				pass.Reportf(imp.Pos(), "dot import of %s hides deprecated-shim use; import it qualified", workloadsPath)
+				continue
+			default:
+				alias = imp.Name.Name
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Name != alias {
+				return true
+			}
+			if repl, bad := deprecated[sel.Sel.Name]; bad {
+				pass.Reportf(sel.Pos(), "deprecated workloads.%s (a compatibility shim); use %s",
+					sel.Sel.Name, repl)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// workloadsImport returns the file's import of the workloads package,
+// or nil when the file does not import it.
+func workloadsImport(file *ast.File) *ast.ImportSpec {
+	for _, imp := range file.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err == nil && path == workloadsPath {
+			return imp
+		}
+	}
+	return nil
+}

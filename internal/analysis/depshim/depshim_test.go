@@ -1,0 +1,159 @@
+package depshim_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/depshim"
+)
+
+// findings runs the analyzer AST-only (no type information — depshim
+// does not need it, which is what lets it run in every driver) over one
+// in-memory file posing as package path.
+func findings(t *testing.T, path, src string) []analysis.Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := analysis.Run(fset, []*ast.File{f}, path, nil, nil, []*analysis.Analyzer{depshim.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestFlagsDeprecatedShims(t *testing.T) {
+	src := `package p
+
+import "repro/internal/workloads"
+
+func use() {
+	_ = workloads.Names()
+	_ = workloads.IntNames()
+	_ = workloads.FPNames()
+	_, _ = workloads.ByName("crafty")
+	_ = workloads.MustProgram("crafty", 10)
+	_ = workloads.Group("int")
+	_ = workloads.GroupNames()
+	f := workloads.ByName // a bare reference is a use too
+	_ = f
+}
+`
+	got := findings(t, "repro/internal/experiments", src)
+	if len(got) != 8 {
+		t.Fatalf("got %d findings, want 8:\n%v", len(got), got)
+	}
+	for _, f := range got {
+		if !strings.Contains(f.Message, "deprecated workloads.") {
+			t.Errorf("finding %v: message does not name the shim", f)
+		}
+	}
+	// Each diagnostic must name the replacement, not just the offense.
+	if !strings.Contains(got[0].Message, `Members("all")`) {
+		t.Errorf("Names finding does not point at Members(\"all\"): %v", got[0])
+	}
+}
+
+func TestNewSurfaceIsClean(t *testing.T) {
+	src := `package p
+
+import "repro/internal/workloads"
+
+func use() {
+	spec, _ := workloads.Resolve("gen:spill?depth=8")
+	_ = spec
+	_ = workloads.Members("all")
+	_ = workloads.Groups()
+	_ = workloads.Generators()
+}
+`
+	if got := findings(t, "repro/internal/experiments", src); len(got) != 0 {
+		t.Fatalf("new API flagged: %v", got)
+	}
+}
+
+func TestAliasedImport(t *testing.T) {
+	src := `package p
+
+import wl "repro/internal/workloads"
+
+func use() { _ = wl.Names() }
+`
+	got := findings(t, "cmd/sweep", src)
+	if len(got) != 1 || !strings.Contains(got[0].Message, "workloads.Names") {
+		t.Fatalf("aliased shim use not flagged: %v", got)
+	}
+}
+
+func TestAliasDoesNotLeakToOtherPackages(t *testing.T) {
+	// "workloads" as a qualifier for some OTHER package must not trip
+	// the checker: the alias belongs to the import, not the name.
+	src := `package p
+
+import workloads "example.com/other"
+
+func use() { _ = workloads.Names() }
+`
+	if got := findings(t, "cmd/sweep", src); len(got) != 0 {
+		t.Fatalf("foreign package flagged: %v", got)
+	}
+}
+
+func TestDotImportFlagged(t *testing.T) {
+	src := `package p
+
+import . "repro/internal/workloads"
+
+func use() { _ = Names() }
+`
+	got := findings(t, "cmd/sweep", src)
+	if len(got) != 1 || !strings.Contains(got[0].Message, "dot import") {
+		t.Fatalf("dot import not flagged: %v", got)
+	}
+}
+
+func TestBlankImportIgnored(t *testing.T) {
+	src := `package p
+
+import _ "repro/internal/workloads"
+`
+	if got := findings(t, "cmd/sweep", src); len(got) != 0 {
+		t.Fatalf("blank import flagged: %v", got)
+	}
+}
+
+func TestWorkloadsPackageItselfExempt(t *testing.T) {
+	// The shims live in internal/workloads; its own files (and external
+	// test package) define and exercise them legitimately.
+	src := `package workloads
+
+import "repro/internal/workloads"
+
+func use() { _ = workloads.Names() }
+`
+	for _, path := range []string{"repro/internal/workloads", "repro/internal/workloads_test"} {
+		if got := findings(t, path, src); len(got) != 0 {
+			t.Fatalf("%s flagged its own shims: %v", path, got)
+		}
+	}
+}
+
+func TestSuppression(t *testing.T) {
+	src := `package p
+
+import "repro/internal/workloads"
+
+func use() {
+	_ = workloads.Names() //repro:allow depshim -- exercising the shim deliberately
+}
+`
+	if got := findings(t, "cmd/sweep", src); len(got) != 0 {
+		t.Fatalf("suppressed use still flagged: %v", got)
+	}
+}

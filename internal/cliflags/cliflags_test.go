@@ -1,0 +1,112 @@
+package cliflags
+
+import (
+	"flag"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestSharedRegistration: one call registers the whole shared contract
+// — backend, simver and the four store flags.
+func TestSharedRegistration(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	RegisterRunnerFlags(fs)
+	for _, name := range []string{"backend", "simver", "store", "cachedir", "s3-endpoint", "store-cache"} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("flag -%s not registered", name)
+		}
+	}
+
+	fs2 := flag.NewFlagSet("y", flag.ContinueOnError)
+	f2 := RegisterRunnerFlags(fs2, WithoutBackend())
+	if fs2.Lookup("backend") != nil {
+		t.Error("WithoutBackend still registered -backend")
+	}
+	if f2.BackendSpec() != "" {
+		t.Error("BackendSpec nonempty without a backend flag")
+	}
+
+	fs3 := flag.NewFlagSet("z", flag.ContinueOnError)
+	RegisterRunnerFlags(fs3, WithBackendHelp("custom help"))
+	if got := fs3.Lookup("backend").Usage; got != "custom help" {
+		t.Errorf("backend help = %q", got)
+	}
+}
+
+// TestPrintVersion: -simver prints the envelope version and signals the
+// command to stop.
+func TestPrintVersion(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f := RegisterRunnerFlags(fs)
+	if err := fs.Parse([]string{"-simver"}); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if !f.PrintVersion(&out) {
+		t.Fatal("PrintVersion did not fire for -simver")
+	}
+	if got := strings.TrimSpace(out.String()); got != sim.Version() {
+		t.Fatalf("printed %q, want %q", got, sim.Version())
+	}
+
+	fs2 := flag.NewFlagSet("y", flag.ContinueOnError)
+	f2 := RegisterRunnerFlags(fs2)
+	if err := fs2.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f2.PrintVersion(&out) {
+		t.Fatal("PrintVersion fired without -simver")
+	}
+}
+
+// TestBuild: local backend + fs store resolve into runner options; a
+// bad store spec fails without leaking the backend.
+func TestBuild(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f := RegisterRunnerFlags(fs)
+	if err := fs.Parse([]string{"-store", "fs:" + t.TempDir()}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.Backend == nil || b.Store == nil {
+		t.Fatalf("build incomplete: %+v", b)
+	}
+	if len(b.RunnerOptions()) == 0 {
+		t.Fatal("no runner options from a backend+store build")
+	}
+	if sim.New(b.RunnerOptions()...) == nil {
+		t.Fatal("options do not build a runner")
+	}
+
+	fs2 := flag.NewFlagSet("y", flag.ContinueOnError)
+	f2 := RegisterRunnerFlags(fs2)
+	if err := fs2.Parse([]string{"-store", "gopher://nope"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f2.Build(); err == nil {
+		t.Fatal("bad store spec accepted")
+	}
+
+	// Storage off, no backend: an empty but usable Built.
+	fs3 := flag.NewFlagSet("z", flag.ContinueOnError)
+	f3 := RegisterRunnerFlags(fs3, WithoutBackend())
+	if err := fs3.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	b3, err := f3.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b3.Close()
+	if b3.Backend != nil || b3.Store != nil || len(b3.RunnerOptions()) != 0 {
+		t.Fatalf("empty build not empty: %+v", b3)
+	}
+	var nilBuilt *Built
+	nilBuilt.Close() // must not panic
+}

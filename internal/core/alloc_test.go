@@ -37,7 +37,11 @@ func steadyCore(tb testing.TB, kind TrackerKind, bench string) *Core {
 	cfg.SMB.Enabled = true
 	cfg.SMB.BypassCommitted = true
 	cfg.Tracker.Kind = kind
-	c := New(cfg, workloads.MustProgram(bench))
+	spec, err := workloads.Resolve(bench)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	c := New(cfg, workloads.Build(spec))
 	c.Run(0, 100_000)
 	return c
 }

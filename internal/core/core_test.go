@@ -10,7 +10,7 @@ import (
 // runBench simulates a catalog benchmark under cfg.
 func runBench(t *testing.T, name string, cfg Config, warmup, measure uint64) (*Core, *Stats) {
 	t.Helper()
-	spec, err := workloads.ByName(name)
+	spec, err := workloads.Resolve(name)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,8 +327,9 @@ func TestAllBenchmarksRunBaseline(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	for _, name := range workloads.Names() {
-		name := name
+	members, _ := workloads.Members("all")
+	for _, m := range members {
+		name := m.Name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
 			cfg := DefaultConfig()
@@ -431,7 +432,7 @@ func (t *countingTracer) Flush(uint64, string, int)                    { t.flush
 // TestTracerLifecycleConsistency: renamed = committed + squashed +
 // in-flight; committed events match the committed count.
 func TestTracerLifecycleConsistency(t *testing.T) {
-	spec, _ := workloads.ByName("gcc")
+	spec, _ := workloads.Resolve("gcc")
 	cfg := DefaultConfig()
 	c := New(cfg, workloads.Build(spec))
 	tr := &countingTracer{}
@@ -504,7 +505,7 @@ func TestRegisterConservationAudit(t *testing.T) {
 		for _, bench := range []string{"hmmer", "gcc", "astar"} {
 			t.Run(cs.name+"/"+bench, func(t *testing.T) {
 				t.Parallel()
-				spec, _ := workloads.ByName(bench)
+				spec, _ := workloads.Resolve(bench)
 				c := New(cs.cfg, workloads.Build(spec))
 				c.Run(2000, 20000)
 				if err := c.DrainAndAudit(); err != nil {

@@ -41,12 +41,18 @@ func CommandOverrides(warmup, measure *uint64, bench string) Overrides {
 // Cell is one grid point: the combination of one value per axis, with
 // the fully-materialized baseline and optimized configurations.
 type Cell struct {
-	// Labels holds the selected value label per axis, in axis order.
+	// Labels holds the selected value label per axis — workload axes
+	// first, then config axes, matching the spec's combined axis order.
 	Labels []string
+	// Benches is the cell's canonical benchmark list: the spec's
+	// top-level list plus the cell's workload-axis values, groups
+	// expanded and names canonicalized. Cells in the same workload combo
+	// share the slice; callers must not mutate it.
+	Benches []string
 	// Base and Opt index into Matrix.Requests, one entry per benchmark
-	// (aligned with Matrix.Benches): the cell's baseline and optimized
-	// runs. Several cells typically share baseline request indices —
-	// that is the deduplication.
+	// (aligned with Benches): the cell's baseline and optimized runs.
+	// Several cells typically share baseline request indices — that is
+	// the deduplication.
 	Base []int
 	Opt  []int
 	// BaseConfig and OptConfig are the cell's materialized machine
@@ -58,10 +64,14 @@ type Cell struct {
 }
 
 // Matrix is a fully-expanded scenario: the deduplicated request list
-// plus the cells mapping into it. Cells are in row-major axis order
-// (the last axis varies fastest).
+// plus the cells mapping into it. Cells are in row-major combined-axis
+// order: workload axes outermost, then config axes, the last config
+// axis varying fastest.
 type Matrix struct {
-	Spec    *Spec
+	Spec *Spec
+	// Benches is the union of every cell's benchmark list, in first-use
+	// order. For specs without workload axes it is exactly each cell's
+	// list.
 	Benches []string
 	Warmup  uint64
 	Measure uint64
@@ -69,6 +79,13 @@ type Matrix struct {
 	// Requests is the deduplicated simulation list in first-use order;
 	// running a scenario is exactly one Stream over it.
 	Requests []sim.Request
+	// FirstUse maps each Requests index to the cell that interned it.
+	// Because cells intern their requests in cell order, a contiguous
+	// cell range [lo, hi) owns exactly the requests with
+	// lo <= FirstUse[i] < hi — the property fleet sharding leans on to
+	// run every request exactly once across hosts leasing disjoint cell
+	// ranges.
+	FirstUse []int
 }
 
 // Expand materializes the spec's grid: the cross-product of all axis
@@ -91,16 +108,18 @@ func (s *Spec) Expand(ov Overrides) (*Matrix, error) {
 	}
 	sel := *s
 	if len(ov.Benchmarks) != 0 {
+		if len(s.WorkloadAxes) != 0 {
+			// A -bench override would make every workload-axis value
+			// select the same list, collapsing the axis into duplicate
+			// cells; reject instead of silently sweeping nothing.
+			return nil, fmt.Errorf("scenario %q: a benchmark override cannot apply to a spec with workload axes", s.Name)
+		}
 		sel.Benchmarks = ov.Benchmarks
 	}
-	benches, err := sel.ResolveBenchmarks()
-	if err != nil {
-		return nil, err
-	}
-	m.Benches = benches
 
-	index := make(map[string]int) // sim.Key -> Requests index
-	intern := func(cfg core.Config) []int {
+	index := make(map[string]int)      // sim.Key -> Requests index
+	benchSeen := make(map[string]bool) // union membership for m.Benches
+	intern := func(benches []string, cfg core.Config) []int {
 		idxs := make([]int, len(benches))
 		for i, b := range benches {
 			req := sim.Request{Bench: b, Config: cfg, Warmup: m.Warmup, Measure: m.Measure}
@@ -110,51 +129,91 @@ func (s *Spec) Expand(ov Overrides) (*Matrix, error) {
 				at = len(m.Requests)
 				index[key] = at
 				m.Requests = append(m.Requests, req)
+				m.FirstUse = append(m.FirstUse, len(m.Cells))
 			}
 			idxs[i] = at
 		}
 		return idxs
 	}
 
-	// Row-major walk over the axis cross-product.
-	combo := make([]int, len(s.Axes))
+	// Row-major walk: workload axes outermost, config axes within.
+	wCombo := make([]int, len(s.WorkloadAxes))
 	for {
-		cell := Cell{Labels: make([]string, len(s.Axes))}
-		baseCfg := core.DefaultConfig()
-		s.Base.Apply(&baseCfg)
-		for ai, vi := range combo {
-			cell.Labels[ai] = s.Axes[ai].Values[vi].Label
-			if s.Axes[ai].Shared {
-				s.Axes[ai].Values[vi].Patch.Apply(&baseCfg)
+		// This workload combo's canonical benchmark list: the top-level
+		// list plus each selected axis value's list.
+		names := append([]string{}, sel.Benchmarks...)
+		wLabels := make([]string, len(s.WorkloadAxes))
+		for ai, vi := range wCombo {
+			v := s.WorkloadAxes[ai].Values[vi]
+			wLabels[ai] = v.Label
+			names = append(names, v.Benchmarks...)
+		}
+		benches, err := resolveBenchList(names)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q cell %v: %w", s.Name, wLabels, err)
+		}
+		for _, b := range benches {
+			if !benchSeen[b] {
+				benchSeen[b] = true
+				m.Benches = append(m.Benches, b)
 			}
 		}
-		optCfg := baseCfg
-		s.Opt.Apply(&optCfg)
-		for ai, vi := range combo {
-			if !s.Axes[ai].Shared {
-				s.Axes[ai].Values[vi].Patch.Apply(&optCfg)
-			}
-		}
-		if err := checkTrackerSized(&baseCfg); err != nil {
-			return nil, fmt.Errorf("scenario %q cell %v: baseline config: %w", s.Name, cell.Labels, err)
-		}
-		if err := checkTrackerSized(&optCfg); err != nil {
-			return nil, fmt.Errorf("scenario %q cell %v: optimized config: %w", s.Name, cell.Labels, err)
-		}
-		cell.Base = intern(baseCfg)
-		cell.Opt = intern(optCfg)
-		cell.BaseConfig = baseCfg
-		cell.OptConfig = optCfg
-		m.Cells = append(m.Cells, cell)
 
-		// Advance the odometer, last axis fastest.
-		ai := len(combo) - 1
-		for ; ai >= 0; ai-- {
-			combo[ai]++
-			if combo[ai] < len(s.Axes[ai].Values) {
+		combo := make([]int, len(s.Axes))
+		for {
+			cell := Cell{
+				Labels:  append(append([]string{}, wLabels...), make([]string, len(s.Axes))...),
+				Benches: benches,
+			}
+			baseCfg := core.DefaultConfig()
+			s.Base.Apply(&baseCfg)
+			for ai, vi := range combo {
+				cell.Labels[len(wLabels)+ai] = s.Axes[ai].Values[vi].Label
+				if s.Axes[ai].Shared {
+					s.Axes[ai].Values[vi].Patch.Apply(&baseCfg)
+				}
+			}
+			optCfg := baseCfg
+			s.Opt.Apply(&optCfg)
+			for ai, vi := range combo {
+				if !s.Axes[ai].Shared {
+					s.Axes[ai].Values[vi].Patch.Apply(&optCfg)
+				}
+			}
+			if err := checkTrackerSized(&baseCfg); err != nil {
+				return nil, fmt.Errorf("scenario %q cell %v: baseline config: %w", s.Name, cell.Labels, err)
+			}
+			if err := checkTrackerSized(&optCfg); err != nil {
+				return nil, fmt.Errorf("scenario %q cell %v: optimized config: %w", s.Name, cell.Labels, err)
+			}
+			cell.Base = intern(benches, baseCfg)
+			cell.Opt = intern(benches, optCfg)
+			cell.BaseConfig = baseCfg
+			cell.OptConfig = optCfg
+			m.Cells = append(m.Cells, cell)
+
+			// Advance the config odometer, last axis fastest.
+			ai := len(combo) - 1
+			for ; ai >= 0; ai-- {
+				combo[ai]++
+				if combo[ai] < len(s.Axes[ai].Values) {
+					break
+				}
+				combo[ai] = 0
+			}
+			if ai < 0 {
 				break
 			}
-			combo[ai] = 0
+		}
+
+		// Advance the workload odometer.
+		ai := len(wCombo) - 1
+		for ; ai >= 0; ai-- {
+			wCombo[ai]++
+			if wCombo[ai] < len(s.WorkloadAxes[ai].Values) {
+				break
+			}
+			wCombo[ai] = 0
 		}
 		if ai < 0 {
 			break

@@ -130,6 +130,93 @@ func TestExpandOverrides(t *testing.T) {
 	}
 }
 
+// wgSpec sweeps workload shape (one axis value per generator point,
+// spelled non-canonically on purpose) against an ISRB config axis, with
+// a shared catalog benchmark riding along in every cell.
+const wgSpec = `{
+  "name": "wg",
+  "title": "WG",
+  "benchmarks": ["crafty"],
+  "warmup": 100,
+  "measure": 1000,
+  "opt": {"smb": true},
+  "workload_axes": [
+    {"name": "shape", "values": [
+      {"label": "spill8", "benchmarks": ["gen:spill?seed=1&depth=8"]},
+      {"label": "chase",  "benchmarks": ["gen:chase?mix=0.50"]}
+    ]}
+  ],
+  "axes": [
+    {"name": "ISRB", "values": [
+      {"label": "ISRB-8",    "patch": {"tracker": "isrb", "entries": 8, "ctrbits": 3}},
+      {"label": "unlimited", "patch": {}}
+    ]}
+  ],
+  "report": {"kind": "grid", "rowheader": "shape"}
+}`
+
+// TestExpandWorkloadAxesGolden pins the workload-axis expansion: the
+// workload axis is outermost, each cell carries its own canonicalized
+// benchmark list (the non-canonical gen: spellings above must collapse
+// to canonical form — depth=8 is the spill default and 0.50 prints as
+// 0.5), requests dedup across workload combos (the shared crafty
+// baseline appears once), and FirstUse maps each request to the cell
+// that interned it in nondecreasing order.
+func TestExpandWorkloadAxesGolden(t *testing.T) {
+	s, err := ParseBytes([]byte(wgSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Expand(Overrides{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got strings.Builder
+	fmt.Fprintf(&got, "benches %v\n", m.Benches)
+	for i, r := range m.Requests {
+		fmt.Fprintf(&got, "req %s first=%d\n", describe(r), m.FirstUse[i])
+	}
+	for _, c := range m.Cells {
+		fmt.Fprintf(&got, "cell %s benches=%v base=%v opt=%v\n",
+			strings.Join(c.Labels, "/"), c.Benches, c.Base, c.Opt)
+	}
+
+	want := strings.TrimLeft(`
+benches [crafty gen:spill?seed=1 gen:chase?mix=0.5]
+req crafty w=100 m=1000 rob=192 smb=false tracker=unlimited/32/3 first=0
+req gen:spill?seed=1 w=100 m=1000 rob=192 smb=false tracker=unlimited/32/3 first=0
+req crafty w=100 m=1000 rob=192 smb=true tracker=isrb/8/3 first=0
+req gen:spill?seed=1 w=100 m=1000 rob=192 smb=true tracker=isrb/8/3 first=0
+req crafty w=100 m=1000 rob=192 smb=true tracker=unlimited/32/3 first=1
+req gen:spill?seed=1 w=100 m=1000 rob=192 smb=true tracker=unlimited/32/3 first=1
+req gen:chase?mix=0.5 w=100 m=1000 rob=192 smb=false tracker=unlimited/32/3 first=2
+req gen:chase?mix=0.5 w=100 m=1000 rob=192 smb=true tracker=isrb/8/3 first=2
+req gen:chase?mix=0.5 w=100 m=1000 rob=192 smb=true tracker=unlimited/32/3 first=3
+cell spill8/ISRB-8 benches=[crafty gen:spill?seed=1] base=[0 1] opt=[2 3]
+cell spill8/unlimited benches=[crafty gen:spill?seed=1] base=[0 1] opt=[4 5]
+cell chase/ISRB-8 benches=[crafty gen:chase?mix=0.5] base=[0 6] opt=[2 7]
+cell chase/unlimited benches=[crafty gen:chase?mix=0.5] base=[0 6] opt=[4 8]
+`, "\n")
+	if got.String() != want {
+		t.Fatalf("workload-axis expansion drifted:\n--- got ---\n%s--- want ---\n%s", got.String(), want)
+	}
+
+	// FirstUse must be nondecreasing — the contiguity property fleet
+	// sharding's exactly-once split depends on.
+	for i := 1; i < len(m.FirstUse); i++ {
+		if m.FirstUse[i] < m.FirstUse[i-1] {
+			t.Fatalf("FirstUse not nondecreasing at %d: %v", i, m.FirstUse)
+		}
+	}
+
+	// A -bench override cannot meaningfully apply to a workload-axis
+	// spec; it must be rejected, not silently collapse the axis.
+	if _, err := s.Expand(Overrides{Benchmarks: []string{"crafty"}}); err == nil {
+		t.Fatal("bench override accepted for a workload-axis spec")
+	}
+}
+
 // TestExpandRejectsUnsizedTracker: a cell whose composed patches select
 // an entry-based tracker but never size it must fail loudly —
 // core.NewTracker would otherwise silently coerce it to 32 entries /

@@ -96,14 +96,21 @@ func (rep *RunReport) Series() []sim.Series {
 
 // Table renders the report in the spec's chosen shape.
 func (rep *RunReport) Table() *stats.Table {
-	if rep.spec != nil && rep.spec.Report.Kind == ReportGrid {
-		return rep.gridTable()
+	if rep.spec != nil {
+		switch rep.spec.Report.Kind {
+		case ReportGrid:
+			return rep.gridTable()
+		case ReportCells:
+			return rep.cellsTable()
+		}
 	}
 	return rep.seriesTable()
 }
 
 // seriesTable renders the figures' shape: one row per benchmark, one
-// column per cell, and a gmean row.
+// column per cell, and a gmean row. With workload axes, cells can run
+// different benchmark lists; a benchmark absent from a cell renders
+// as "-".
 func (rep *RunReport) seriesTable() *stats.Table {
 	cols := []string{"benchmark"}
 	for _, c := range rep.Cells {
@@ -113,7 +120,11 @@ func (rep *RunReport) seriesTable() *stats.Table {
 	for _, b := range rep.Benches {
 		row := []string{b}
 		for _, c := range rep.Cells {
-			row = append(row, stats.Pct(c.Series.Per[b]))
+			if v, ok := c.Series.Per[b]; ok {
+				row = append(row, stats.Pct(v))
+			} else {
+				row = append(row, "-")
+			}
 		}
 		t.AddRow(row...)
 	}
@@ -125,34 +136,45 @@ func (rep *RunReport) seriesTable() *stats.Table {
 	return t
 }
 
+// cellsTable renders the flat shape for grids too big or too deep to
+// lay out dimensionally: one row per cell, joined labels plus gmean.
+func (rep *RunReport) cellsTable() *stats.Table {
+	t := stats.NewTable(rep.Title, "cell", "speedup")
+	for _, c := range rep.Cells {
+		t.AddRow(c.Name, stats.Pct(c.Series.GMean))
+	}
+	return t
+}
+
 // gridTable renders the sweeps' shape: first axis down, second axis (or
-// the single value column) across, gmean speedup per cell.
+// the single value column) across, gmean speedup per cell. Workload
+// axes lay out exactly like config axes (they are outermost in cell
+// order, so they come first in the combined view).
 func (rep *RunReport) gridTable() *stats.Table {
 	spec := rep.spec
+	axes := spec.combinedAxes()
 	rowHeader := spec.Report.RowHeader
 	if rowHeader == "" {
-		rowHeader = spec.Axes[0].Name
+		rowHeader = axes[0].name
 	}
-	rows := spec.Axes[0].Values
-	if len(spec.Axes) == 1 {
+	rows := axes[0].labels
+	if len(axes) == 1 {
 		valueHeader := spec.Report.ValueHeader
 		if valueHeader == "" {
 			valueHeader = "speedup"
 		}
 		t := stats.NewTable(rep.Title, rowHeader, valueHeader)
-		for i, v := range rows {
-			t.AddRow(v.Label, stats.Pct(rep.Cells[i].Series.GMean))
+		for i, label := range rows {
+			t.AddRow(label, stats.Pct(rep.Cells[i].Series.GMean))
 		}
 		return t
 	}
 	cols := []string{rowHeader}
-	for _, v := range spec.Axes[1].Values {
-		cols = append(cols, v.Label)
-	}
+	cols = append(cols, axes[1].labels...)
 	t := stats.NewTable(rep.Title, cols...)
-	width := len(spec.Axes[1].Values)
-	for i, v := range rows {
-		row := []string{v.Label}
+	width := len(axes[1].labels)
+	for i, label := range rows {
+		row := []string{label}
 		for j := 0; j < width; j++ {
 			row = append(row, stats.Pct(rep.Cells[i*width+j].Series.GMean))
 		}

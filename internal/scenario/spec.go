@@ -66,15 +66,45 @@ type Axis struct {
 	Values []Value `json:"values"`
 }
 
+// WorkloadValue is one point on a workload axis: a display label plus
+// the benchmark list — workload names, gen: generator names or group
+// names — the point selects.
+//
+//repro:wire
+type WorkloadValue struct {
+	Label      string   `json:"label"`
+	Benchmarks []string `json:"benchmarks"`
+}
+
+// WorkloadAxis is a sweep dimension over *program shape* rather than
+// machine configuration: each value swaps the benchmark list instead of
+// patching the config. Workload axes are always outermost in the cell
+// order (they vary slowest), and combine freely with config axes — a
+// scheme × ROB × workload-shape grid is three axes like any other.
+// Every cell still compares its optimized configuration against its own
+// baseline on the cell's own benchmarks, so speedups stay comparable
+// across shapes.
+//
+//repro:wire
+type WorkloadAxis struct {
+	Name   string          `json:"name"`
+	Values []WorkloadValue `json:"values"`
+}
+
 // Report kinds.
 const (
 	// ReportGrid renders one row per first-axis value and one column per
 	// second-axis value (or a single value column for one axis); each
-	// cell is the gmean speedup over the cell baseline.
+	// cell is the gmean speedup over the cell baseline. Workload axes
+	// count as axes here, outermost first.
 	ReportGrid = "grid"
 	// ReportSeries renders one row per benchmark and one column per cell
 	// (the figures' shape), plus a gmean row.
 	ReportSeries = "series"
+	// ReportCells renders one row per cell — its joined labels and gmean
+	// speedup — with no dimensional layout. It is the only kind that
+	// scales to grids with three or more axes (the fleet-sized specs).
+	ReportCells = "cells"
 )
 
 // ReportSpec selects how a scenario's results are rendered as a table.
@@ -93,16 +123,23 @@ type Spec struct {
 	Name        string `json:"name"`
 	Title       string `json:"title"`
 	Description string `json:"description,omitempty"`
-	// Benchmarks mixes explicit workload names and group names ("all",
-	// "int", "fp", "branch-hostile"); groups expand in place, duplicates
-	// collapse on first occurrence.
-	Benchmarks []string   `json:"benchmarks"`
-	Warmup     uint64     `json:"warmup"`
-	Measure    uint64     `json:"measure"`
-	Base       Patch      `json:"base,omitempty"`
-	Opt        Patch      `json:"opt,omitempty"`
-	Axes       []Axis     `json:"axes"`
-	Report     ReportSpec `json:"report"`
+	// Benchmarks mixes explicit workload names, gen: generator names and
+	// group names ("all", "int", "fp", "branch-hostile"); groups expand
+	// in place, duplicates collapse on first occurrence. It may be empty
+	// when WorkloadAxes supplies every cell's benchmarks; when both are
+	// present, every cell runs this list plus its axis values' lists.
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	Warmup     uint64   `json:"warmup"`
+	Measure    uint64   `json:"measure"`
+	Base       Patch    `json:"base,omitempty"`
+	Opt        Patch    `json:"opt,omitempty"`
+	// WorkloadAxes sweep program shape; Axes sweep machine
+	// configuration. Cell order is row-major over workload axes first
+	// (outermost), then config axes (the last config axis varies
+	// fastest).
+	WorkloadAxes []WorkloadAxis `json:"workload_axes,omitempty"`
+	Axes         []Axis         `json:"axes,omitempty"`
+	Report       ReportSpec     `json:"report"`
 }
 
 // Parse reads one spec from r, rejecting unknown fields (a typo'd knob
@@ -149,11 +186,32 @@ func (s *Spec) Validate() error {
 	if s.Measure == 0 {
 		return fail("measure must be positive")
 	}
-	if _, err := s.ResolveBenchmarks(); err != nil {
-		return fail("%v", err)
+	if len(s.Benchmarks) == 0 && len(s.WorkloadAxes) == 0 {
+		return fail("no benchmarks selected")
 	}
-	if len(s.Axes) == 0 {
+	if len(s.Benchmarks) != 0 {
+		if _, err := s.ResolveBenchmarks(); err != nil {
+			return fail("%v", err)
+		}
+	}
+	if len(s.Axes) == 0 && len(s.WorkloadAxes) == 0 {
 		return fail("no axes: the grid is empty")
+	}
+	for _, a := range s.WorkloadAxes {
+		if a.Name == "" {
+			return fail("workload axis with no name")
+		}
+		if len(a.Values) == 0 {
+			return fail("workload axis %q has no values: the grid is empty", a.Name)
+		}
+		for _, v := range a.Values {
+			if v.Label == "" {
+				return fail("workload axis %q has a value with no label", a.Name)
+			}
+			if _, err := resolveBenchList(append(append([]string{}, s.Benchmarks...), v.Benchmarks...)); err != nil {
+				return fail("workload axis %q value %q: %v", a.Name, v.Label, err)
+			}
+		}
 	}
 	for _, a := range s.Axes {
 		if a.Name == "" {
@@ -179,25 +237,66 @@ func (s *Spec) Validate() error {
 			return fail("%s patch: %v", sp.side, err)
 		}
 	}
+	nAxes := len(s.WorkloadAxes) + len(s.Axes)
 	switch s.Report.Kind {
 	case ReportGrid:
-		if len(s.Axes) > 2 {
-			return fail("grid report needs 1 or 2 axes, spec has %d", len(s.Axes))
+		if nAxes > 2 {
+			return fail("grid report needs 1 or 2 axes (workload axes included), spec has %d", nAxes)
 		}
 	case ReportSeries:
-		if len(s.Axes) != 1 {
-			return fail("series report needs exactly 1 axis, spec has %d", len(s.Axes))
+		if nAxes != 1 {
+			return fail("series report needs exactly 1 axis (workload axes included), spec has %d", nAxes)
 		}
+	case ReportCells:
 	default:
-		return fail("unknown report kind %q (known: grid series)", s.Report.Kind)
+		return fail("unknown report kind %q (known: grid series cells)", s.Report.Kind)
 	}
 	return nil
 }
 
-// ResolveBenchmarks expands groups and validates names, preserving order
-// and dropping duplicates.
+// axisView is the dimension-agnostic face of one sweep axis — its name
+// and value labels — in combined cell order: workload axes first, then
+// config axes. Report rendering lays out cells with it, so a grid over
+// a workload axis and a grid over a config axis render identically.
+type axisView struct {
+	name   string
+	labels []string
+}
+
+// combinedAxes lists the spec's sweep dimensions in cell order.
+func (s *Spec) combinedAxes() []axisView {
+	out := make([]axisView, 0, len(s.WorkloadAxes)+len(s.Axes))
+	for _, a := range s.WorkloadAxes {
+		v := axisView{name: a.Name, labels: make([]string, len(a.Values))}
+		for i, val := range a.Values {
+			v.labels[i] = val.Label
+		}
+		out = append(out, v)
+	}
+	for _, a := range s.Axes {
+		v := axisView{name: a.Name, labels: make([]string, len(a.Values))}
+		for i, val := range a.Values {
+			v.labels[i] = val.Label
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// ResolveBenchmarks expands groups and validates names, preserving
+// order and dropping duplicates. Names are returned in canonical form
+// (gen: generator names have many equivalent spellings), so everything
+// downstream — matrix cells, dedup keys, store envelopes — addresses
+// one workload by exactly one string.
 func (s *Spec) ResolveBenchmarks() ([]string, error) {
-	if len(s.Benchmarks) == 0 {
+	return resolveBenchList(s.Benchmarks)
+}
+
+// resolveBenchList is the group-expanding, canonicalizing name
+// resolver shared by the top-level benchmark list and workload-axis
+// values.
+func resolveBenchList(list []string) ([]string, error) {
+	if len(list) == 0 {
 		return nil, fmt.Errorf("no benchmarks selected")
 	}
 	var names []string
@@ -208,18 +307,19 @@ func (s *Spec) ResolveBenchmarks() ([]string, error) {
 			names = append(names, n)
 		}
 	}
-	for _, b := range s.Benchmarks {
-		if members, ok := workloads.Group(b); ok {
-			for _, n := range members {
-				add(n)
+	for _, b := range list {
+		if members, ok := workloads.Members(b); ok {
+			for _, m := range members {
+				add(m.Name)
 			}
 			continue
 		}
-		if _, err := workloads.ByName(b); err != nil {
-			return nil, fmt.Errorf("benchmark %q: not a workload and not a group (groups: %v)",
-				b, workloads.GroupNames())
+		canonical, err := workloads.CanonicalName(b)
+		if err != nil {
+			return nil, fmt.Errorf("benchmark %q: not a workload and not a group (groups: %v): %w",
+				b, workloads.Groups(), err)
 		}
-		add(b)
+		add(canonical)
 	}
 	return names, nil
 }

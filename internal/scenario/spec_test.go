@@ -132,3 +132,23 @@ func TestBuiltinSpecsAllValid(t *testing.T) {
 		t.Fatal("unknown builtin accepted")
 	}
 }
+
+// TestFleetGridShape pins the committed fleet-scale grid: 17 workload
+// shapes × 5 schemes × 5 ROB × 5 tracker sizes × 5 counter widths =
+// 10625 cells, deduplicating to 10710 unique requests (85 shared
+// baselines, one per shape × ROB, plus one optimized point per cell).
+func TestFleetGridShape(t *testing.T) {
+	m := MustBuiltin("fleet-grid").MustExpand(Overrides{})
+	if len(m.Cells) != 10625 {
+		t.Fatalf("fleet-grid has %d cells, want 10625", len(m.Cells))
+	}
+	if len(m.Requests) != 10710 {
+		t.Fatalf("fleet-grid dedups to %d requests, want 10710", len(m.Requests))
+	}
+	if len(m.Benches) != 17 {
+		t.Fatalf("fleet-grid covers %d shapes, want 17", len(m.Benches))
+	}
+	if m.Spec.Report.Kind != ReportCells {
+		t.Fatalf("fleet-grid must use the cells report (grids cannot lay out 4+ axes)")
+	}
+}

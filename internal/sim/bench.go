@@ -196,7 +196,7 @@ func RunBenchVia(ctx context.Context, points []BenchPoint, quick bool, exec Exec
 // no runner layers between the wall clock and the cycle loop, so the
 // number tracks the simulator itself across PRs.
 func directPoint(ctx context.Context, pt BenchPoint) (BenchResult, error) {
-	spec, err := workloads.ByName(pt.Bench)
+	spec, err := workloads.Resolve(pt.Bench)
 	if err != nil {
 		return BenchResult{}, fmt.Errorf("sim: %w %q", ErrUnknownBenchmark, pt.Bench)
 	}

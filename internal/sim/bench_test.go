@@ -66,7 +66,7 @@ func TestBenchPointsPinned(t *testing.T) {
 		if pt.Warmup == 0 || pt.Measure == 0 {
 			t.Fatalf("point %+v has no pinned run lengths", pt)
 		}
-		if _, err := workloads.ByName(pt.Bench); err != nil {
+		if _, err := workloads.Resolve(pt.Bench); err != nil {
 			t.Fatalf("pinned point names a benchmark outside the catalog: %v", err)
 		}
 	}

@@ -11,8 +11,9 @@ import (
 // wraps exactly one of these sentinels, so callers branch with
 // errors.Is instead of matching message strings:
 //
-//   - ErrUnknownBenchmark: the request names a benchmark outside the
-//     workload catalog;
+//   - ErrUnknownBenchmark: the request's workload name is one
+//     workloads.Resolve rejects — neither a catalog benchmark nor a
+//     well-formed gen: generator name;
 //   - ErrBadConfig: the request's machine configuration or run lengths
 //     cannot be simulated (zero measured region, unsized windows,
 //     unknown tracker kind, ...);
@@ -43,8 +44,8 @@ func (req Request) Validate() error {
 	if err := req.Config.Check(); err != nil {
 		return fmt.Errorf("sim: %s: %w: %w", req.Bench, ErrBadConfig, err)
 	}
-	if _, err := workloads.ByName(req.Bench); err != nil {
-		return fmt.Errorf("sim: %w %q (known: %v)", ErrUnknownBenchmark, req.Bench, workloads.Names())
+	if _, err := workloads.Resolve(req.Bench); err != nil {
+		return fmt.Errorf("sim: %w %q: %w", ErrUnknownBenchmark, req.Bench, err)
 	}
 	return nil
 }

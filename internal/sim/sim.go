@@ -52,8 +52,11 @@ import (
 	"repro/internal/workloads"
 )
 
-// Request names one simulation: a benchmark from the workload catalog, a
-// full machine configuration and the run lengths.
+// Request names one simulation: a workload name (a catalog benchmark or
+// a gen: generator point — anything workloads.Resolve accepts), a full
+// machine configuration and the run lengths. The Runner canonicalizes
+// Bench before keying, so equivalent spellings of one generator point
+// share a dedup slot and a store entry.
 type Request struct {
 	Bench   string
 	Config  core.Config
@@ -331,6 +334,13 @@ func (r *Runner) Run(ctx context.Context, req Request) (*Result, error) {
 // itself rather than inheriting the leader's cancellation, so one
 // aborted Stream never fails an unrelated concurrent caller.
 func (r *Runner) do(ctx context.Context, idx int, req Request) Event {
+	// Canonicalize the workload name before anything keys on it, so the
+	// many equivalent spellings of a gen: point share one singleflight
+	// slot and one store entry. An invalid name passes through unchanged
+	// for Validate to reject with the typed error.
+	if name, err := workloads.CanonicalName(req.Bench); err == nil {
+		req.Bench = name
+	}
 	ev := Event{Index: idx, Req: req}
 	if err := req.Validate(); err != nil {
 		ev.Err = err
@@ -499,10 +509,10 @@ func (r *Runner) MustRunAll(ctx context.Context, reqs []Request) []*Result {
 // bad configuration or a cancellation surfaces as a value the caller
 // can inspect.
 func (r *Runner) RunBenchmarks(ctx context.Context, warmup, measure uint64, cfgFor func(bench string) core.Config, sink func(Event)) ([]*Result, error) {
-	names := workloads.Names()
-	reqs := make([]Request, len(names))
-	for i, n := range names {
-		reqs[i] = Request{Bench: n, Config: cfgFor(n), Warmup: warmup, Measure: measure}
+	members, _ := workloads.Members("all")
+	reqs := make([]Request, len(members))
+	for i, m := range members {
+		reqs[i] = Request{Bench: m.Name, Config: cfgFor(m.Name), Warmup: warmup, Measure: measure}
 	}
 	return r.Stream(ctx, reqs, sink)
 }
@@ -522,7 +532,7 @@ func Simulate(ctx context.Context, req Request) (*Result, error) {
 // passed Validate, so lookup and construction cannot fail; the context
 // is the one way out early, surfacing as a typed ErrCanceled wrap.
 func simulate(ctx context.Context, req Request) (*Result, error) {
-	spec, err := workloads.ByName(req.Bench)
+	spec, err := workloads.Resolve(req.Bench)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w %q", ErrUnknownBenchmark, req.Bench)
 	}

@@ -1,0 +1,93 @@
+package workloads
+
+// The registered shape families. Each maps a small, documented parameter
+// point onto the Spec vector; everything a family does not pin is chosen
+// to keep the shape's signal (register pressure, pointer chasing, vector
+// streaming, branch hostility) dominant over background noise. Ranges
+// bound program-construction cost: ChaseNodes and FootprintKB drive the
+// size of the program's initial memory image, so their maxima stay at
+// the catalog's own extremes (mcf, lbm).
+var generators = map[string]*Generator{
+	"spill": {
+		Family: "spill",
+		Doc:    "register-pressure kernel: spill/reload density scales with tile depth, per the tiling register-pressure model",
+		Params: []Param{
+			{Key: "depth", Doc: "tile depth; spill density ~ 4%/level, saturating at 64%", Def: 8, Min: 1, Max: 64, Int: true},
+			{Key: "dist", Doc: "filler ops between a spill store and its reload", Def: 6, Min: 1, Max: 64, Int: true},
+			{Key: "reuse", Doc: "fraction of reloads repeated (load-load pair fodder)", Def: 0.4, Min: 0, Max: 1},
+			{Key: "far", Doc: "beyond-window store-to-load spans per block", Def: 0.25, Min: 0, Max: 1},
+		},
+		Make: func(p map[string]float64) Spec {
+			return Spec{
+				Blocks: 10, BlockLen: 24, ILP: 2,
+				SpillPct:       min(0.64, 0.04*p["depth"]),
+				SpillDist:      int(p["dist"]),
+				ReloadTwicePct: p["reuse"],
+				FarSpillPct:    p["far"],
+				InvariantPct:   0.08, LoadOnChainPct: 0.6, PathDepPct: 0.15,
+				ArrayPct: 0.08, StridePct: 0.5, FootprintKB: 128,
+				BranchPct: 0.35, HardBranchPct: 0.15, InnerTripA: 16,
+			}
+		},
+	},
+	"chase": {
+		Family: "chase",
+		Doc:    "pointer-chasing kernel: serial loads over a random cyclic ring, miss latency scales with ring size",
+		Params: []Param{
+			{Key: "nodes", Doc: "chase ring size (drives miss latency)", Def: 4096, Min: 16, Max: 262144, Int: true},
+			{Key: "mix", Doc: "probability a group chases a pointer", Def: 0.2, Min: 0, Max: 1},
+			{Key: "footprint", Doc: "background array footprint in KB", Def: 1024, Min: 8, Max: 8192, Int: true},
+		},
+		Make: func(p map[string]float64) Spec {
+			return Spec{
+				Blocks: 8, BlockLen: 24, ILP: 2,
+				ChasePct:   p["mix"],
+				ChaseNodes: int(p["nodes"]),
+				ArrayPct:   0.12, StridePct: 0.2, FootprintKB: int(p["footprint"]),
+				SpillPct: 0.05, SpillDist: 5, LoadOnChainPct: 0.7,
+				BranchPct: 0.5, HardBranchPct: 0.35,
+			}
+		},
+	},
+	"vector": {
+		Family: "vector",
+		Doc:    "wide-vector streaming loop: independent FP chains over strided arrays, GPU-style",
+		Params: []Param{
+			{Key: "width", Doc: "independent accumulator chains (lane count)", Def: 4, Min: 1, Max: 6, Int: true},
+			{Key: "trip", Doc: "inner loop trip count", Def: 64, Min: 4, Max: 256, Int: true},
+			{Key: "stride", Doc: "strided (prefetchable) fraction of array walks", Def: 0.95, Min: 0, Max: 1},
+			{Key: "fp", Doc: "floating-point share of the FU mix", Def: 0.35, Min: 0, Max: 1},
+		},
+		Make: func(p map[string]float64) Spec {
+			return Spec{
+				FP: true, FPPct: p["fp"],
+				Blocks: 6, BlockLen: 28, ILP: int(p["width"]),
+				ArrayPct: 0.3, StridePct: p["stride"], FootprintKB: 4096,
+				SpillPct: 0.04, SpillDist: 5,
+				BranchPct: 0.15, HardBranchPct: 0.05,
+				InnerTripA: int(p["trip"]),
+				MovePct:    0.02, MoveOnChainPct: 0.3,
+			}
+		},
+	},
+	"branchy": {
+		Family: "branchy",
+		Doc:    "control-flow-hostile kernel: dense data-dependent branches and calls stress checkpoints and recovery",
+		Params: []Param{
+			{Key: "hard", Doc: "fraction of branches that are ~50/50 unpredictable", Def: 0.5, Min: 0, Max: 1},
+			{Key: "branch", Doc: "probability a block contains a data-dependent branch", Def: 0.7, Min: 0, Max: 1},
+			{Key: "calls", Doc: "probability a block calls a leaf function", Def: 0.2, Min: 0, Max: 1},
+		},
+		Make: func(p map[string]float64) Spec {
+			return Spec{
+				Blocks: 10, BlockLen: 20, ILP: 2,
+				BranchPct:     p["branch"],
+				HardBranchPct: p["hard"],
+				CallPct:       p["calls"],
+				SpillPct:      0.08, SpillDist: 5,
+				ArrayPct: 0.1, StridePct: 0.4, FootprintKB: 128,
+				MovePct: 0.06, MoveOnChainPct: 0.4,
+			}
+		},
+	},
+}

@@ -1,9 +1,6 @@
 package workloads
 
 import (
-	"fmt"
-	"sort"
-
 	"repro/internal/program"
 )
 
@@ -147,49 +144,34 @@ func Catalog() []Spec {
 }
 
 // Names returns the catalog's benchmark names, integer suite first.
-func Names() []string {
-	specs := Catalog()
-	names := make([]string, len(specs))
-	for i, s := range specs {
-		names[i] = s.Name
-	}
-	return names
-}
+// The returned slice is memoized and shared: callers must not mutate it.
+//
+// Deprecated: use Members("all") and read Spec.Name — Spec is the
+// public currency of the redesigned API.
+func Names() []string { return tables().names }
 
 // IntNames and FPNames split the catalog as the paper's figures do.
-func IntNames() []string { return filterNames(false) }
+// The returned slices are memoized and shared: callers must not mutate
+// them.
+//
+// Deprecated: use Members("int").
+func IntNames() []string { return tables().intNames }
 
 // FPNames returns the floating-point suite's names.
-func FPNames() []string { return filterNames(true) }
+//
+// Deprecated: use Members("fp").
+func FPNames() []string { return tables().fpNames }
 
-func filterNames(fp bool) []string {
-	var names []string
-	for _, s := range Catalog() {
-		if s.FP == fp {
-			names = append(names, s.Name)
-		}
-	}
-	return names
-}
-
-// ByName returns the spec for a benchmark.
-func ByName(name string) (Spec, error) {
-	for _, s := range Catalog() {
-		if s.Name == name {
-			return s, nil
-		}
-	}
-	var known []string
-	for _, s := range Catalog() {
-		known = append(known, s.Name)
-	}
-	sort.Strings(known)
-	return Spec{}, fmt.Errorf("workloads: unknown benchmark %q (known: %v)", name, known)
-}
+// ByName returns the spec for a catalog benchmark.
+//
+// Deprecated: use Resolve, which also understands gen: generator names.
+func ByName(name string) (Spec, error) { return Resolve(name) }
 
 // MustProgram builds the program for a benchmark name.
+//
+// Deprecated: use Resolve + Build.
 func MustProgram(name string) *program.Program {
-	s, err := ByName(name)
+	s, err := Resolve(name)
 	if err != nil {
 		panic(err)
 	}
@@ -197,34 +179,16 @@ func MustProgram(name string) *program.Program {
 }
 
 // Group resolves a named benchmark group to its member list, in catalog
-// order. Known groups:
+// order. The returned slice is memoized and shared: callers must not
+// mutate it.
 //
-//   - "all":            the full 36-benchmark suite;
-//   - "int", "fp":      the two suites the paper's figures split on;
-//   - "branch-hostile": the benchmarks whose hard (data-dependent,
-//     ~50/50) branch share is at least 40% — the subset where deep
-//     speculation is most often wrong and checkpoint recovery dominates.
-//
-// The second return value reports whether name is a known group.
+// Deprecated: use Members, which returns Specs instead of names.
 func Group(name string) ([]string, bool) {
-	switch name {
-	case "all":
-		return Names(), true
-	case "int":
-		return IntNames(), true
-	case "fp":
-		return FPNames(), true
-	case "branch-hostile":
-		var names []string
-		for _, s := range Catalog() {
-			if s.HardBranchPct >= 0.4 {
-				names = append(names, s.Name)
-			}
-		}
-		return names, true
-	}
-	return nil, false
+	names, ok := tables().groups[name]
+	return names, ok
 }
 
 // GroupNames lists the named groups Group resolves.
-func GroupNames() []string { return []string{"all", "int", "fp", "branch-hostile"} }
+//
+// Deprecated: use Groups.
+func GroupNames() []string { return Groups() }

@@ -242,10 +242,21 @@ func MustRun(spec RunSpec) *Result {
 }
 
 // Benchmarks lists the 36 workload names (integer suite first).
-func Benchmarks() []string { return workloads.Names() }
+func Benchmarks() []string { return memberNames("all") }
 
 // IntBenchmarks lists the integer suite.
-func IntBenchmarks() []string { return workloads.IntNames() }
+func IntBenchmarks() []string { return memberNames("int") }
 
 // FPBenchmarks lists the floating-point suite.
-func FPBenchmarks() []string { return workloads.FPNames() }
+func FPBenchmarks() []string { return memberNames("fp") }
+
+// memberNames projects a workload group onto a fresh name slice, so the
+// public API never hands out the memoized tables for mutation.
+func memberNames(group string) []string {
+	members, _ := workloads.Members(group)
+	names := make([]string, len(members))
+	for i, m := range members {
+		names[i] = m.Name
+	}
+	return names
+}
